@@ -1,0 +1,70 @@
+"""E4 — the headline comparison: new algorithms vs [PS92/95].
+
+Paper claim: both new algorithms beat the 25-year-old O(log³ n / log Δ)
+baseline, with a gap that *grows* with n (exponential separation in the
+constant-degree case: polyloglog vs polylog).
+
+The table runs all three on identical instances and reports rounds plus
+the speedup factor; the note gives the measured growth exponents.  "Who
+wins, by roughly what factor, where crossovers fall" is the deliverable:
+the new algorithms should win everywhere beyond toy sizes, by a factor
+that increases with n.
+"""
+
+from __future__ import annotations
+
+from common import emit, sizes
+from repro.analysis.experiments import sweep
+from repro.analysis.stats import loglog_slope
+from repro.baselines.panconesi_srinivasan import ps_delta_coloring
+from repro.core.randomized import delta_coloring_large_delta, delta_coloring_small_delta
+from repro.graphs.generators import random_regular_graph
+from repro.graphs.validation import validate_coloring
+
+
+def build_table():
+    ns = sizes([512, 2048, 8192], [512, 2048, 8192, 32768, 131072])
+    deltas = sizes([3, 8], [3, 8, 16])
+
+    def run(point, seed):
+        n, delta = point["n"], point["delta"]
+        graph = random_regular_graph(n, delta, seed=seed)
+        if delta >= 4:
+            new = delta_coloring_large_delta(graph, seed=seed)
+        else:
+            new = delta_coloring_small_delta(graph, seed=seed)
+        validate_coloring(graph, new.colors, max_colors=delta)
+        old = ps_delta_coloring(graph, seed=seed)
+        validate_coloring(graph, old.colors, max_colors=delta)
+        return {
+            "new_rounds": new.rounds,
+            "ps_rounds": old.rounds,
+            "speedup": old.rounds / max(1, new.rounds),
+        }
+
+    points = [{"delta": d, "n": n} for d in deltas for n in ns]
+    table = sweep(
+        "E4: new algorithms vs Panconesi–Srinivasan baseline", points, run, seeds=(0, 1)
+    )
+    for d in deltas:
+        rows = [row for row in table.rows if row.params["delta"] == d]
+        xs = [row.params["n"] for row in rows]
+        new_slope = loglog_slope(xs, [row.values["new_rounds"] for row in rows])
+        old_slope = loglog_slope(xs, [row.values["ps_rounds"] for row in rows])
+        table.notes.append(
+            f"Δ={d}: growth exponent new={new_slope:.2f} vs PS={old_slope:.2f} "
+            "(paper: polyloglog vs log³n/logΔ — the gap must widen with n)"
+        )
+    return table
+
+
+def test_e4_baseline(benchmark):
+    table = benchmark.pedantic(build_table, iterations=1, rounds=1)
+    emit(table, "e4_baseline")
+    for row in table.rows:
+        if row.params["n"] >= 2048:
+            assert row.values["speedup"] > 1.0, "new algorithm must win beyond toy sizes"
+
+
+if __name__ == "__main__":
+    emit(build_table(), "e4_baseline")

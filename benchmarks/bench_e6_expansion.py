@@ -1,0 +1,82 @@
+"""E6 — Lemmas 12/14/15: DCC-free neighbourhoods expand.
+
+Paper claims, per BFS level size |B_r(v)|:
+
+* Lemma 15 (no marking, all degrees Δ, no DCC within r):
+  |B_r| >= (Δ-1)^{r/2};
+* Lemma 12 (after marking, Δ >= 4, b = 6): |B_r| >= (Δ-2)^{r/2};
+* Lemma 14 (after marking, Δ = 3, b = 12): |B_r| >= 4^{r/6}.
+
+Workload: high-girth regular graphs (girth > 2r+2, so no DCC within r of
+anyone); the marking rows apply the phase-4 marking process and BFS only
+through unmarked nodes.  Reported: min and mean measured level size vs
+the lemma's bound — min >= bound is the pass criterion.
+"""
+
+from __future__ import annotations
+
+import random
+
+from common import cached_high_girth, emit
+from repro.analysis.expansion import (
+    lemma12_bound,
+    lemma14_bound,
+    lemma15_bound,
+    measure_expansion,
+)
+from repro.analysis.experiments import Row, Table
+from repro.core.marking import marking_process
+from repro.graphs.validation import UNCOLORED
+from repro.local.rounds import RoundLedger
+
+
+def build_table():
+    table = Table(title="E6: BFS expansion in DCC-free graphs (Lemmas 12/14/15)")
+    cases = [
+        # (delta, n, girth, radius, marking backoff or None, bound fn, label)
+        (3, 1500, 10, 4, None, lemma15_bound(3, 4), "L15 Δ=3"),
+        (4, 1200, 7, 2, None, lemma15_bound(4, 2), "L15 Δ=4"),
+        (3, 1500, 10, 4, 12, lemma14_bound(4), "L14 Δ=3 b=12"),
+        (4, 1200, 7, 2, 6, lemma12_bound(4, 2), "L12 Δ=4 b=6"),
+        (5, 900, 6, 2, 6, lemma12_bound(5, 2), "L12 Δ=5 b=6"),
+    ]
+    for delta, n, girth, radius, backoff, bound, label in cases:
+        mins, means = [], []
+        for seed in (0, 1):
+            graph = cached_high_girth(n, delta, girth, seed)
+            allowed = None
+            if backoff is not None:
+                colors = [UNCOLORED] * graph.n
+                marking = marking_process(
+                    graph, set(range(graph.n)), colors, 0.002, backoff,
+                    random.Random(seed), RoundLedger(),
+                )
+                allowed = {v for v in range(graph.n) if v not in marking.marked}
+            sample = measure_expansion(
+                graph, radius, num_roots=30, allowed=allowed, rng=random.Random(seed)
+            )
+            mins.append(sample.min_at_radius())
+            means.append(sample.mean_at_radius())
+        table.rows.append(
+            Row(
+                params={"lemma": label, "n": n, "r": radius},
+                values={
+                    "min|B_r|": min(mins),
+                    "mean|B_r|": round(sum(means) / len(means), 1),
+                    "bound": bound,
+                },
+            )
+        )
+    table.notes.append("pass criterion: min|B_r| >= bound on every row")
+    return table
+
+
+def test_e6_expansion(benchmark):
+    table = benchmark.pedantic(build_table, iterations=1, rounds=1)
+    emit(table, "e6_expansion")
+    for row in table.rows:
+        assert row.values["min|B_r|"] >= row.values["bound"], row.params
+
+
+if __name__ == "__main__":
+    emit(build_table(), "e6_expansion")

@@ -1,0 +1,126 @@
+"""E9 — subroutine costs: Linial (log* n) and (deg+1)-list coloring.
+
+Paper claims measured here:
+
+* Linial's coloring reaches an O(Δ²) palette in O(log* n) rounds — the
+  iteration count must be essentially flat over many orders of magnitude;
+* Theorem 19's engine shape: random-trial list coloring converges in
+  O(log n) rounds; the hybrid engine in O(log Δ) + small tail; the
+  deterministic engine (Theorem 18 substitute) in exactly `palette` =
+  O(Δ²) rounds independent of n.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from common import emit, sizes
+from repro.analysis.experiments import Row, Table, sweep
+from repro.graphs.generators import random_regular_graph
+from repro.graphs.validation import UNCOLORED, validate_coloring
+from repro.local.rounds import RoundLedger
+from repro.primitives.linial import linial_coloring, reduction_schedule
+from repro.primitives.list_coloring import (
+    list_coloring_deterministic,
+    list_coloring_hybrid,
+    list_coloring_random,
+)
+
+
+def build_linial_table():
+    table = Table(title="E9a: Linial coloring — palette and iterations (log* n)")
+    for delta in (3, 8, 16):
+        for exponent in (3, 6, 9, 12):
+            n = 10 ** exponent
+            schedule = reduction_schedule(n, delta)
+            palette = schedule[-1][2] ** 2 if schedule else n
+            table.rows.append(Row(
+                params={"delta": delta, "n": f"1e{exponent}"},
+                values={"iterations": len(schedule),
+                        "final_palette": palette,
+                        "palette/Δ²": round(palette / delta**2, 1)},
+            ))
+    table.notes.append(
+        "iterations must be O(log* n): flat over 9 orders of magnitude of n"
+    )
+    # also run one real instance end-to-end per delta
+    for delta in (3, 8):
+        graph = random_regular_graph(2048, delta, seed=1)
+        result = linial_coloring(graph)
+        table.rows.append(Row(
+            params={"delta": delta, "n": "2048 (executed)"},
+            values={"iterations": result.iterations, "final_palette": result.palette,
+                    "palette/Δ²": round(result.palette / delta**2, 1)},
+        ))
+    return table
+
+
+def build_list_coloring_table():
+    ns = sizes([512, 2048, 8192], [512, 2048, 8192, 32768])
+
+    def run(point, seed):
+        n, delta = point["n"], 6
+        graph = random_regular_graph(n, delta, seed=seed)
+        out = {}
+        for engine in ("random", "hybrid", "deterministic"):
+            colors = [UNCOLORED] * graph.n
+            ledger = RoundLedger()
+            rng = random.Random(seed)
+            if engine == "random":
+                stats = list_coloring_random(
+                    graph, colors, set(range(n)), delta + 1, ledger, rng
+                )
+            elif engine == "hybrid":
+                stats = list_coloring_hybrid(
+                    graph, colors, set(range(n)), delta + 1, ledger, rng
+                )
+            else:
+                linial = linial_coloring(graph)
+                stats = list_coloring_deterministic(
+                    graph, colors, set(range(n)), delta + 1,
+                    linial.colors, linial.palette, ledger,
+                )
+            validate_coloring(graph, colors, max_colors=delta + 1)
+            out[f"{engine}_rounds"] = ledger.total_rounds
+        return out
+
+    table = sweep(
+        "E9b: (deg+1)-list coloring engines, rounds vs n (Δ=6)",
+        [{"n": n} for n in ns],
+        run,
+        seeds=(0, 1),
+    )
+    table.notes.append(
+        "shapes: random ~ O(log n) [PS-era]; hybrid ~ O(log Δ)+tail [Thm 19]; "
+        "deterministic = palette = O(Δ²), n-independent [Thm 18 substitute]"
+    )
+    ln = [math.log2(row.params["n"]) for row in table.rows]
+    table.notes.append(f"log2(n) per row: {[round(x, 1) for x in ln]}")
+    return table
+
+
+def test_e9_linial(benchmark):
+    table = benchmark.pedantic(build_linial_table, iterations=1, rounds=1)
+    emit(table, "e9a_linial")
+    # iteration flatness over 9 orders of magnitude
+    for delta in (3, 8, 16):
+        iters = [
+            row.values["iterations"]
+            for row in table.rows
+            if row.params["delta"] == delta and str(row.params["n"]).startswith("1e")
+        ]
+        assert max(iters) - min(iters) <= 3
+
+
+def test_e9_list_coloring(benchmark):
+    table = benchmark.pedantic(build_list_coloring_table, iterations=1, rounds=1)
+    emit(table, "e9b_list_coloring")
+    # deterministic engine is exactly n-independent
+    det = [row.values["deterministic_rounds"] for row in table.rows]
+    assert max(det) == min(det)
+
+
+if __name__ == "__main__":
+    emit(build_linial_table(), "e9a_linial")
+    emit(build_list_coloring_table(), "e9b_list_coloring")

@@ -1,0 +1,7 @@
+"""Pytest configuration for the benchmark suite."""
+
+import sys
+from pathlib import Path
+
+# Allow `import common` from bench modules regardless of invocation dir.
+sys.path.insert(0, str(Path(__file__).parent))

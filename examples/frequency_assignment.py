@@ -1,0 +1,62 @@
+"""Frequency assignment in a wireless mesh: the classic coloring workload.
+
+Scenario: radio nodes on a torus-shaped mesh (a standard model for
+sensor-network deployments with wrap-around routing) must each pick one of
+F frequencies so that no two interfering (adjacent) nodes share one.  The
+interference graph is 4-regular, so F = Δ = 4 suffices by Brooks' theorem
+— but a naive greedy assignment needs 5.  On licensed spectrum, one fewer
+frequency is real money; this is the "single color of difference" the
+paper's introduction debates.
+
+The demo also runs an irregular deployment (random placement with a
+degree cap) and shows the LOCAL round counts: the assignment is computed
+by message passing among the radios themselves, no central controller.
+
+Run:  python examples/frequency_assignment.py
+"""
+
+from collections import Counter
+
+from repro import (
+    centralized_greedy,
+    delta_color,
+    random_nice_graph,
+    random_regular_graph,
+    torus_grid,
+    validate_coloring,
+)
+from repro.graphs.properties import is_nice
+
+
+def assign_frequencies(graph, name: str, seed: int) -> None:
+    delta = graph.max_degree()
+    result = delta_color(graph, seed=seed)
+    validate_coloring(graph, result.colors, max_colors=delta)
+    greedy = centralized_greedy(graph)
+    usage = Counter(result.colors)
+    print(f"[{name}] n={graph.n}, interference degree Δ={delta}")
+    print(f"  distributed Δ-coloring : {len(usage)} frequencies "
+          f"(guarantee: Δ = {delta}), {result.rounds} LOCAL rounds")
+    print(f"  channel load           : "
+          + ", ".join(f"f{c}:{k}" for c, k in sorted(usage.items())))
+    print(f"  greedy (centralized)   : {len(set(greedy))} frequencies "
+          f"(guarantee only Δ+1 = {delta + 1})")
+    print()
+
+
+def main() -> None:
+    # Structured deployment: 24x25 torus mesh (600 radios).
+    assign_frequencies(torus_grid(24, 25), "torus mesh", seed=1)
+
+    # Irregular deployment: 700 radios, at most 5 interference neighbours.
+    graph = random_nice_graph(700, 5, seed=11)
+    assert graph.is_connected() and is_nice(graph)
+    assign_frequencies(graph, "irregular deployment", seed=11)
+
+    # Dense deployment where greedy actually pays the extra channel.
+    graph = random_regular_graph(600, 6, seed=2)
+    assign_frequencies(graph, "dense 6-regular deployment", seed=2)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: Δ-color a graph with one call and inspect the result.
+
+A Δ-coloring uses exactly Δ = max-degree colors — one fewer than the
+trivial greedy (Δ+1) coloring.  By Brooks' theorem it exists for every
+*nice* graph (connected, not a clique / cycle / path); this package
+reproduces the PODC 2018 distributed algorithms that compute it in very
+few LOCAL rounds.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    centralized_greedy,
+    delta_color,
+    random_regular_graph,
+    validate_coloring,
+)
+
+
+def main() -> None:
+    # A random 4-regular graph on 2000 nodes: Δ = 4.
+    graph = random_regular_graph(2000, d=4, seed=7)
+    delta = graph.max_degree()
+    print(f"graph: n={graph.n}, m={graph.num_edges}, Δ={delta}")
+
+    # One call; dispatches to the right algorithm for Δ (Theorem 1 or 3).
+    result = delta_color(graph, seed=7)
+    validate_coloring(graph, result.colors, max_colors=delta)
+    used = len(set(result.colors))
+    print(f"Δ-coloring: {used} colors (palette 1..{delta}), "
+          f"{result.rounds} LOCAL rounds")
+
+    # The per-phase round breakdown mirrors the paper's phases (1)-(9).
+    print("\nrounds by phase:")
+    for phase, rounds in result.phase_rounds.items():
+        print(f"  {phase:<22} {rounds:>6}")
+
+    # Structural statistics the algorithm gathered along the way.
+    interesting = ("num_dccs", "b0_components", "h_size", "t_nodes",
+                   "leftover_components", "fallbacks")
+    print("\nstats:")
+    for key in interesting:
+        print(f"  {key:<22} {result.stats[key]}")
+
+    # Contrast: sequential greedy needs Δ+1 colors on regular graphs.
+    greedy = centralized_greedy(graph)
+    print(f"\ngreedy baseline uses {len(set(greedy))} colors "
+          f"(Δ-coloring saves one full color class)")
+
+
+if __name__ == "__main__":
+    main()

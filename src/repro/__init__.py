@@ -1,0 +1,136 @@
+"""repro — a LOCAL-model reproduction of *Improved Distributed Δ-Coloring*
+(Ghaffari, Hirvonen, Kuhn, Maus; PODC 2018, arXiv:1803.03248).
+
+The package builds the paper's complete algorithmic system: the randomized
+Δ-coloring algorithms (Theorems 1 and 3), the deterministic one (Theorem
+4), the distributed Brooks' theorem repair procedure (Theorem 5), the
+structural machinery (degree-choosable components, Gallai trees, the
+marking process, layering, shattering), every substrate they cite (Linial
+coloring, MIS, ruling sets, (deg+1)-list coloring), and the
+Panconesi–Srinivasan baseline they improve on.
+
+Quick start::
+
+    from repro import random_regular_graph, delta_color, validate_coloring
+
+    graph = random_regular_graph(1000, d=4, seed=1)
+    result = delta_color(graph, seed=1)          # Δ-coloring, Δ = 4 colors
+    validate_coloring(graph, result.colors, max_colors=4)
+    print(result.rounds, result.phase_rounds)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured experiment index.
+"""
+
+from repro.baselines import centralized_brooks, centralized_greedy, ps_delta_coloring
+from repro.core import (
+    ComponentColoring,
+    DeltaColoringResult,
+    DeterministicResult,
+    RandomizedParams,
+    default_fix_radius,
+    degree_list_color,
+    delta_coloring_deterministic,
+    delta_coloring_large_delta,
+    delta_coloring_randomized,
+    delta_coloring_small_delta,
+    color_graph,
+    color_special,
+    fix_uncolored_node,
+    slocal_delta_coloring,
+)
+from repro.errors import (
+    AlgorithmContractError,
+    ColoringError,
+    GraphError,
+    InfeasibleListColoringError,
+    NotNiceGraphError,
+    ReproError,
+)
+from repro.graphs import (
+    Graph,
+    UNCOLORED,
+    complete_graph,
+    complete_graph_minus_edge,
+    cycle_graph,
+    hypercube,
+    is_gallai_tree,
+    is_nice,
+    path_graph,
+    random_gallai_tree,
+    random_graph_with_max_degree,
+    random_nice_graph,
+    random_regular_graph,
+    random_tree,
+    torus_grid,
+    validate_coloring,
+)
+from repro.graphs.generators import high_girth_regular_graph
+from repro.local import RoundLedger
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "delta_color",
+    "Graph",
+    "UNCOLORED",
+    "validate_coloring",
+    "RandomizedParams",
+    "DeltaColoringResult",
+    "DeterministicResult",
+    "delta_coloring_randomized",
+    "delta_coloring_small_delta",
+    "delta_coloring_large_delta",
+    "delta_coloring_deterministic",
+    "color_graph",
+    "color_special",
+    "ComponentColoring",
+    "slocal_delta_coloring",
+    "ps_delta_coloring",
+    "centralized_brooks",
+    "centralized_greedy",
+    "degree_list_color",
+    "fix_uncolored_node",
+    "default_fix_radius",
+    "RoundLedger",
+    "cycle_graph",
+    "path_graph",
+    "complete_graph",
+    "complete_graph_minus_edge",
+    "torus_grid",
+    "hypercube",
+    "random_regular_graph",
+    "high_girth_regular_graph",
+    "random_graph_with_max_degree",
+    "random_nice_graph",
+    "random_gallai_tree",
+    "random_tree",
+    "is_nice",
+    "is_gallai_tree",
+    "ReproError",
+    "GraphError",
+    "ColoringError",
+    "NotNiceGraphError",
+    "InfeasibleListColoringError",
+    "AlgorithmContractError",
+]
+
+
+def delta_color(graph: Graph, seed: int = 0, strict: bool = False) -> DeltaColoringResult:
+    """Δ-color a nice graph with the best-fitting algorithm of the paper.
+
+    Dispatches on Δ exactly as the paper's results do: the small-Δ
+    algorithm (Theorem 1) for Δ = 3, the large-Δ algorithm (Theorem 3)
+    for Δ >= 4.  The result's ``colors`` use palette {1..Δ}.
+
+    Raises :class:`NotNiceGraphError` on cliques, cycles, and paths —
+    those are exactly the graphs Brooks' theorem excludes (or that need
+    Ω(n) rounds).
+    """
+    from repro.graphs.properties import assert_nice
+
+    assert_nice(graph)
+    delta = graph.max_degree()
+    if delta >= 4:
+        return delta_coloring_large_delta(graph, seed=seed, strict=strict)
+    return delta_coloring_small_delta(graph, seed=seed, strict=strict)

@@ -1,0 +1,88 @@
+"""Experiment harness: sweeps, repetition, and table rendering.
+
+Every benchmark in ``benchmarks/`` builds its table through this module so
+that the output format is uniform: one row per parameter point, measured
+columns (mean ± stdev over seeds) next to the paper-predicted shape.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.analysis.stats import mean, stdev
+
+__all__ = ["Row", "Table", "sweep"]
+
+
+@dataclass
+class Row:
+    """One table row: a parameter point plus measured/derived columns."""
+
+    params: dict[str, object]
+    values: dict[str, float]
+    spreads: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class Table:
+    """A rendered experiment table (the benchmark deliverable)."""
+
+    title: str
+    rows: list[Row] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Fixed-width text rendering with one header line per column."""
+        if not self.rows:
+            return f"== {self.title} ==\n(no rows)"
+        param_keys = list(self.rows[0].params)
+        value_keys = list(self.rows[0].values)
+        headers = param_keys + value_keys
+        body: list[list[str]] = []
+        for row in self.rows:
+            cells = [str(row.params[k]) for k in param_keys]
+            for k in value_keys:
+                value = row.values[k]
+                spread = row.spreads.get(k)
+                if spread is not None and spread > 0:
+                    cells.append(f"{value:.1f}±{spread:.1f}")
+                else:
+                    cells.append(f"{value:g}" if value != int(value) else str(int(value)))
+            body.append(cells)
+        widths = [
+            max(len(headers[i]), max(len(r[i]) for r in body)) for i in range(len(headers))
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+        lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+        for cells in body:
+            lines.append("  ".join(cells[i].ljust(widths[i]) for i in range(len(cells))))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def sweep(
+    title: str,
+    points: Iterable[dict[str, object]],
+    run: Callable[[dict[str, object], int], dict[str, float]],
+    seeds: Sequence[int] = (0, 1, 2),
+    notes: Sequence[str] = (),
+) -> Table:
+    """Run ``run(point, seed)`` for every point × seed and aggregate.
+
+    ``run`` returns a dict of measured values; each value column is
+    aggregated to mean ± stdev over the seeds.
+    """
+    table = Table(title=title, notes=list(notes))
+    for point in points:
+        samples: dict[str, list[float]] = {}
+        for seed in seeds:
+            measured = run(point, seed)
+            for key, value in measured.items():
+                samples.setdefault(key, []).append(float(value))
+        values = {k: mean(v) for k, v in samples.items()}
+        spreads = {k: stdev(v) for k, v in samples.items()}
+        table.rows.append(Row(params=dict(point), values=values, spreads=spreads))
+    return table

@@ -1,0 +1,60 @@
+"""Statistics helpers for the experiment harness (pure Python, no deps)."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["mean", "stdev", "median", "loglog_slope", "fit_against"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for empty input)."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0.0 for fewer than two values)."""
+    if len(values) < 2:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((x - m) ** 2 for x in values) / (len(values) - 1))
+
+
+def median(values: Sequence[float]) -> float:
+    """Median (0.0 for empty input)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    k = len(ordered)
+    mid = k // 2
+    if k % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(x).
+
+    The scaling-experiment summary statistic: a measured slope ~0 means
+    constant, ~1 linear, etc.  Pairs with non-positive entries are
+    skipped.
+    """
+    points = [(math.log(x), math.log(y)) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(points) < 2:
+        return 0.0
+    mx = mean([p[0] for p in points])
+    my = mean([p[1] for p in points])
+    num = sum((px - mx) * (py - my) for px, py in points)
+    den = sum((px - mx) ** 2 for px, py in points)
+    return num / den if den else 0.0
+
+
+def fit_against(
+    xs: Sequence[float], ys: Sequence[float], predictor
+) -> float:
+    """Best multiplicative constant c minimising Σ (y - c·f(x))² for the
+    model y ≈ c·f(x); used to overlay predicted shapes on measured rows."""
+    num = sum(y * predictor(x) for x, y in zip(xs, ys))
+    den = sum(predictor(x) ** 2 for x in xs)
+    return num / den if den else 0.0

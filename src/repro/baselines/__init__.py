@@ -1,0 +1,6 @@
+"""Baselines: the algorithms the paper improves on or is checked against."""
+
+from repro.baselines.greedy import centralized_brooks, centralized_greedy
+from repro.baselines.panconesi_srinivasan import PSResult, ps_delta_coloring
+
+__all__ = ["centralized_brooks", "centralized_greedy", "PSResult", "ps_delta_coloring"]

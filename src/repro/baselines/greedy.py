@@ -1,0 +1,51 @@
+"""Centralized reference colorers: the correctness oracles.
+
+* :func:`centralized_greedy` — the trivial sequential (Δ+1)-coloring the
+  paper's introduction contrasts Δ-coloring against.
+* :func:`centralized_brooks` — a polynomial-time centralized Δ-coloring of
+  nice graphs (Brooks' theorem via Lovász's constructive proof, reusing
+  the degree-list machinery: a nice graph either has a deficient node —
+  surplus — or is regular and non-Gallai).
+
+These are used by the test suite as oracles and by the benchmarks as the
+"sequential reference" row.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NotNiceGraphError
+from repro.core.degree_choosable import degree_list_color
+from repro.graphs.graph import Graph
+from repro.graphs.properties import assert_nice
+
+__all__ = ["centralized_greedy", "centralized_brooks"]
+
+
+def centralized_greedy(graph: Graph, order: list[int] | None = None) -> list[int]:
+    """Sequential greedy (Δ+1)-coloring in the given (default: id) order."""
+    sequence = order if order is not None else list(range(graph.n))
+    colors = [0] * graph.n
+    for v in sequence:
+        used = {colors[u] for u in graph.adj[v] if colors[u] != 0}
+        c = 1
+        while c in used:
+            c += 1
+        colors[v] = c
+    return colors
+
+
+def centralized_brooks(graph: Graph) -> list[int]:
+    """Centralized Δ-coloring of a nice graph (Brooks / Lovász 1975).
+
+    Runs the constructive degree-list colorer with every list equal to
+    {1..Δ}: a nice graph always has either a node of degree < Δ (a surplus
+    node) or is Δ-regular and contains a degree-choosable block, so the
+    constructive cases always apply.  Raises :class:`NotNiceGraphError`
+    for cliques, cycles, and paths.
+    """
+    assert_nice(graph)
+    delta = graph.max_degree()
+    if delta < 3:
+        raise NotNiceGraphError("centralized Brooks needs Δ >= 3")
+    lists = [set(range(1, delta + 1)) for _ in range(graph.n)]
+    return degree_list_color(graph, lists)

@@ -1,0 +1,81 @@
+"""The paper's primary contribution: Δ-coloring algorithms and machinery.
+
+* :mod:`repro.core.degree_choosable` — constructive Theorem 8 colorer.
+* :mod:`repro.core.dcc` — DCC detection + virtual graph G_DCC (phases 1-2).
+* :mod:`repro.core.brooks` — distributed Brooks' theorem (Theorem 5).
+* :mod:`repro.core.layering` — the layering technique (Section 3).
+* :mod:`repro.core.marking` — the marking process (phase 4).
+* :mod:`repro.core.happiness` — happiness layers (phase 5).
+* :mod:`repro.core.small_components` — leftover components (phase 6).
+* :mod:`repro.core.randomized` — Theorems 1 and 3 orchestrators.
+* :mod:`repro.core.deterministic` — Theorem 4 (subsuming Theorem 21).
+"""
+
+from repro.core.brooks import BrooksFixResult, default_fix_radius, fix_uncolored_node
+from repro.core.dcc import DCCDetection, detect_dccs, virtual_graph_ruling_set
+from repro.core.degree_choosable import backtracking_list_color, degree_list_color
+from repro.core.deterministic import (
+    DeterministicResult,
+    delta_coloring_deterministic,
+    ruling_distance,
+)
+from repro.core.happiness import HappinessLayers, build_happiness_layers
+from repro.core.layering import (
+    LayerColoringReport,
+    build_layers,
+    color_layers_in_reverse,
+)
+from repro.core.marking import (
+    MarkingOutcome,
+    default_selection_probability,
+    marking_process,
+)
+from repro.core.randomized import (
+    DeltaColoringResult,
+    RandomizedParams,
+    delta_coloring_large_delta,
+    delta_coloring_randomized,
+    delta_coloring_small_delta,
+)
+from repro.core.small_components import SmallComponentsReport, color_small_components
+from repro.core.special_cases import (
+    ComponentColoring,
+    SpecialColoring,
+    color_graph,
+    color_special,
+)
+from repro.core.slocal_coloring import slocal_delta_coloring
+
+__all__ = [
+    "degree_list_color",
+    "backtracking_list_color",
+    "DCCDetection",
+    "detect_dccs",
+    "virtual_graph_ruling_set",
+    "BrooksFixResult",
+    "fix_uncolored_node",
+    "default_fix_radius",
+    "LayerColoringReport",
+    "build_layers",
+    "color_layers_in_reverse",
+    "MarkingOutcome",
+    "marking_process",
+    "default_selection_probability",
+    "HappinessLayers",
+    "build_happiness_layers",
+    "SmallComponentsReport",
+    "color_small_components",
+    "RandomizedParams",
+    "DeltaColoringResult",
+    "delta_coloring_randomized",
+    "delta_coloring_small_delta",
+    "delta_coloring_large_delta",
+    "DeterministicResult",
+    "delta_coloring_deterministic",
+    "ruling_distance",
+    "SpecialColoring",
+    "color_special",
+    "ComponentColoring",
+    "color_graph",
+    "slocal_delta_coloring",
+]

@@ -1,0 +1,198 @@
+"""Degree-choosable component detection and the virtual graph G_DCC.
+
+Phase (1) of the randomized algorithms: every node contained in a
+degree-choosable subgraph of radius <= r selects one such subgraph; the
+selected subgraphs form the virtual graph G_DCC (two subgraphs adjacent if
+they share a vertex or are joined by a G-edge), on which phase (2)
+computes a (2, β) ruling set whose components become the base layer B0.
+
+**Detection** (DESIGN.md §4.6): node v collects its radius-r ball (r LOCAL
+rounds), takes the block decomposition of the induced subgraph, and selects
+the first block containing v that is neither a clique nor an odd cycle.
+Such a block is 2-connected, hence a DCC (Definition 9), and lives inside
+the ball so its radius around v is <= 2r.  Conversely any DCC of radius
+<= r/2 around v lies inside the ball and forces the block containing it to
+be a DCC, so detection at radius r is complete for DCCs of radius <= r/2.
+A ball that induces a tree (the overwhelmingly common case in the
+locally-tree-like workloads) is skipped without a block decomposition.
+
+**Virtual MIS** — the ruling set of G_DCC is computed by Luby/Ghaffari
+rounds *simulated through member nodes*: each live DCC draws a priority,
+every member node learns the max priority of the DCCs it belongs to, one
+G-round spreads these to neighbours, and each DCC aggregates over its
+members — exactly adjacency "share a vertex or a G-edge".  One virtual
+round costs O(r) real rounds, as the paper states.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.graphs.bfs import bfs_ball
+from repro.graphs.blocks import biconnected_components
+from repro.graphs.graph import Graph
+from repro.graphs.properties import is_clique_nodes, is_odd_cycle_nodes
+from repro.local.rounds import RoundLedger
+
+__all__ = ["DCCDetection", "detect_dccs", "virtual_graph_ruling_set"]
+
+
+@dataclass
+class DCCDetection:
+    """Output of phase (1).
+
+    ``dccs`` lists the distinct selected DCCs (each a sorted node tuple);
+    ``selected_by[v]`` is the index (into ``dccs``) of the DCC node v
+    selected, or -1; ``nodes_in_dccs`` is the union of all selected DCCs.
+    ``rounds`` is the LOCAL cost charged (ball collection).
+    """
+
+    dccs: list[tuple[int, ...]] = field(default_factory=list)
+    selected_by: list[int] = field(default_factory=list)
+    nodes_in_dccs: set[int] = field(default_factory=set)
+    rounds: int = 0
+
+
+def detect_dccs(
+    graph: Graph,
+    radius: int,
+    active: set[int] | None = None,
+    ledger: RoundLedger | None = None,
+) -> DCCDetection:
+    """Phase (1): per-node DCC selection at detection radius ``radius``.
+
+    Every active node whose radius-``radius`` ball (within the active set)
+    contains a non-clique / non-odd-cycle block through it selects that
+    block.  Selections are deduplicated: nodes choosing the same block
+    share one virtual node, mirroring the paper's "subgraphs sharing a
+    vertex are adjacent" semantics with fewer virtual nodes.
+    """
+    ledger = ledger if ledger is not None else RoundLedger()
+    active_set = set(range(graph.n)) if active is None else set(active)
+    ledger.charge(radius)
+    detection = DCCDetection(selected_by=[-1] * graph.n, rounds=radius)
+    index_of: dict[tuple[int, ...], int] = {}
+    for v in sorted(active_set):
+        if detection.selected_by[v] != -1:
+            continue
+        ball = bfs_ball(graph, v, radius, allowed=active_set)
+        if len(ball) < 4:
+            continue
+        sub, originals = graph.subgraph(ball)
+        if sub.num_edges < sub.n:
+            continue  # the ball is a tree: no 2-connected subgraph at all
+        decomposition = biconnected_components(sub)
+        local_index = originals.index(v) if v in originals else -1
+        chosen: tuple[int, ...] | None = None
+        for block_id in decomposition.blocks_of_node[local_index]:
+            block = decomposition.blocks[block_id]
+            if len(block) < 4:
+                continue
+            if is_clique_nodes(sub, block) or is_odd_cycle_nodes(sub, block):
+                continue
+            chosen = tuple(sorted(originals[i] for i in block))
+            break
+        if chosen is None:
+            continue
+        dcc_id = index_of.get(chosen)
+        if dcc_id is None:
+            dcc_id = len(detection.dccs)
+            detection.dccs.append(chosen)
+            index_of[chosen] = dcc_id
+        # Every member of the block that has not selected yet adopts it;
+        # this matches "each node selects one such subgraph" while keeping
+        # the virtual graph small.
+        for u in chosen:
+            if detection.selected_by[u] == -1:
+                detection.selected_by[u] = dcc_id
+            detection.nodes_in_dccs.add(u)
+    return detection
+
+
+def virtual_graph_ruling_set(
+    graph: Graph,
+    dccs: list[tuple[int, ...]],
+    rounds_per_virtual: int,
+    ledger: RoundLedger | None = None,
+    rng: random.Random | None = None,
+    method: str = "luby",
+    max_iterations: int | None = None,
+) -> tuple[list[int], int]:
+    """Phase (2): independent set of G_DCC covering all DCCs (a (2, β)
+    ruling set run to maximality, so β is the virtual diameter bound 1).
+
+    Virtual Luby/Ghaffari: per iteration every live DCC draws a priority;
+    a DCC joins if its priority beats every DCC it conflicts with
+    (sharing a node or joined by a G-edge); joiners knock out their
+    conflicting DCCs.  Each iteration is charged ``2 * rounds_per_virtual``
+    real rounds (priority aggregation over the DCC's diameter + one
+    G-round + the symmetric removal flood).
+
+    Returns ``(chosen_dcc_indices, iterations)``.
+    """
+    ledger = ledger if ledger is not None else RoundLedger()
+    rng = rng if rng is not None else random.Random(0)
+    num = len(dccs)
+    if num == 0:
+        return [], 0
+    membership: dict[int, list[int]] = {}
+    for idx, dcc in enumerate(dccs):
+        for v in dcc:
+            membership.setdefault(v, []).append(idx)
+    # Conflict adjacency between DCC indices (share node or G-edge).
+    conflicts: list[set[int]] = [set() for _ in range(num)]
+    for v, owners in membership.items():
+        for i, a in enumerate(owners):
+            for b in owners[i + 1:]:
+                conflicts[a].add(b)
+                conflicts[b].add(a)
+    adj = graph.adj
+    for v, owners in membership.items():
+        for u in adj[v]:
+            for b in membership.get(u, ()):
+                for a in owners:
+                    if a != b:
+                        conflicts[a].add(b)
+                        conflicts[b].add(a)
+
+    live = set(range(num))
+    chosen: list[int] = []
+    iterations = 0
+    desire = {i: 0.5 for i in live} if method == "ghaffari" else None
+    while live and (max_iterations is None or iterations < max_iterations):
+        iterations += 1
+        ledger.charge(2 * rounds_per_virtual)
+        if desire is None:
+            contenders = live
+        else:
+            contenders = {i for i in live if rng.random() < desire[i]}
+            for i in live:
+                load = sum(desire[j] for j in conflicts[i] if j in live)
+                desire[i] = desire[i] / 2 if load >= 2.0 else min(2 * desire[i], 0.5)
+        priority = {i: (rng.random(), i) for i in contenders}
+        joiners = [
+            i
+            for i in contenders
+            if all(
+                priority[i] > priority[j]
+                for j in conflicts[i]
+                if j in contenders
+            )
+        ]
+        removed = set(joiners)
+        for i in joiners:
+            chosen.append(i)
+            removed |= conflicts[i] & live
+        live -= removed
+    if live:
+        # Deterministic finisher for iteration-capped runs: admit the
+        # remaining non-conflicting stragglers greedily by index (each is
+        # dominated by a chosen DCC otherwise).
+        chosen_set = set(chosen)
+        for i in sorted(live):
+            if not (conflicts[i] & chosen_set):
+                chosen.append(i)
+                chosen_set.add(i)
+        ledger.charge(rounds_per_virtual)
+    return sorted(chosen), iterations

@@ -1,0 +1,108 @@
+"""Happiness layers (phase (5) of the randomized algorithms).
+
+After the marking process, a node of H is *happy* if it can reach slack —
+a T-node or the boundary of H — through uncolored nodes within distance
+2r.  Happy nodes are arranged into layers C_0, .., C_{2r} by distance to
+their slack and removed; they are colored in reverse layer order in phase
+(7), where the slack guarantees the final step:
+
+* a T-node sees two neighbours of the same color (color one), so at most
+  deg−1 distinct colors;
+* a boundary node (degree < Δ in H) either has degree < Δ in G, or has a
+  neighbour in the removed B-layers, which is colored *after* phase (7).
+
+The subtle part, straight from the paper: marked nodes (colored 1) within
+distance r of the boundary are *uncolored* first.  Otherwise a marked node
+could sit on every path between an inner node and the boundary, breaking
+the "uncolored neighbour in the previous layer" contract of the reverse
+coloring.  Uncoloring a mark may demote its selector from T-node status;
+the demoted selector simply becomes an ordinary node that reaches the
+boundary through the now-uncolored mark (the paper's reassignment cascade
+— a single depth-2r BFS from the post-uncoloring seed set implements it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graphs.bfs import bfs_distances, distance_layers
+from repro.graphs.graph import Graph
+from repro.graphs.validation import UNCOLORED
+from repro.local.rounds import RoundLedger
+from repro.core.marking import MARK_COLOR, MarkingOutcome
+
+__all__ = ["HappinessLayers", "build_happiness_layers"]
+
+
+@dataclass
+class HappinessLayers:
+    """Output of phase (5).
+
+    ``layers[i]`` is C_i (``layers[0]`` = T-nodes ∪ boundary); ``leftover``
+    is the unhappy remainder L (to be handled by phase (6)); ``marked``
+    is the set of still-colored marked nodes (removed from H alongside the
+    layers); ``uncolored_marks`` counts marks wiped by the boundary rule.
+    """
+
+    layers: list[list[int]] = field(default_factory=list)
+    leftover: set[int] = field(default_factory=set)
+    marked: set[int] = field(default_factory=set)
+    t_nodes: set[int] = field(default_factory=set)
+    boundary: set[int] = field(default_factory=set)
+    uncolored_marks: int = 0
+    rounds: int = 0
+
+
+def build_happiness_layers(
+    graph: Graph,
+    colors: list[int],
+    h_nodes: set[int],
+    marking: MarkingOutcome,
+    delta: int,
+    r: int,
+    ledger: RoundLedger | None = None,
+) -> HappinessLayers:
+    """Phase (5): boundary uncoloring, seed computation, C-layer BFS.
+
+    Mutates ``colors`` (marks near the boundary are uncolored).  Charges
+    ``r`` rounds for the boundary flood and ``2r`` for the layer BFS.
+    """
+    ledger = ledger if ledger is not None else RoundLedger()
+    result = HappinessLayers()
+    ledger.charge(r + 2 * r)
+    result.rounds = 3 * r
+
+    degree_in_h = {
+        v: sum(1 for u in graph.adj[v] if u in h_nodes) for v in h_nodes
+    }
+    boundary = {v for v in h_nodes if degree_in_h[v] < delta}
+    result.boundary = boundary
+
+    # Uncolor marks within distance r of the boundary (distance inside H).
+    marked = set(marking.marked)
+    if boundary:
+        dist_to_boundary = bfs_distances(graph, boundary, max_depth=r, allowed=h_nodes)
+        for m in list(marked):
+            if dist_to_boundary[m] != -1:
+                colors[m] = UNCOLORED
+                marked.discard(m)
+                result.uncolored_marks += 1
+
+    # Recompute T-node status: both marks must still carry color one.
+    t_alive = {
+        t
+        for t, (u1, u2) in marking.t_nodes.items()
+        if colors[u1] == MARK_COLOR and colors[u2] == MARK_COLOR
+    }
+    result.t_nodes = t_alive
+    result.marked = marked
+
+    seeds = t_alive | boundary
+    uncolored_h = {v for v in h_nodes if colors[v] == UNCOLORED}
+    # Demoted T-nodes and uncolored marks are plain uncolored nodes now and
+    # participate in the BFS as relay/layer nodes.
+    layers = distance_layers(graph, seeds & uncolored_h, max_depth=2 * r, allowed=uncolored_h)
+    result.layers = layers
+    layered = {v for layer in layers for v in layer}
+    result.leftover = uncolored_h - layered
+    return result

@@ -1,0 +1,129 @@
+"""The layering technique (Section 1.3 / Section 3).
+
+Pick a base layer B_0; define B_i = nodes at distance exactly i from B_0;
+remove all layers; later, add them back in reverse order, where coloring
+layer B_i (i >= 1) is a (deg+1)-list coloring instance on G[B_i] because
+every node of B_i keeps an uncolored neighbour in B_{i-1} until B_{i-1}'s
+turn.  B_0 itself is colored last by a technique that depends on how it
+was chosen (degree-choosability for the randomized algorithms' DCC base
+layer, Theorem 5 token walks for the deterministic algorithm's ruling
+forest).
+
+This module provides the two generic halves — building layers and
+reverse-coloring them with a pluggable (deg+1)-list engine; the base-layer
+coloring lives with each algorithm.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.errors import AlgorithmContractError
+from repro.graphs.bfs import distance_layers
+from repro.graphs.graph import Graph
+from repro.graphs.validation import UNCOLORED
+from repro.local.rounds import RoundLedger
+from repro.primitives.list_coloring import (
+    list_coloring_deterministic,
+    list_coloring_hybrid,
+    list_coloring_random,
+)
+
+__all__ = ["ListEngine", "LayerColoringReport", "build_layers", "color_layers_in_reverse"]
+
+ListEngine = Literal["random", "hybrid", "deterministic"]
+
+
+@dataclass
+class LayerColoringReport:
+    """Statistics of one reverse-layer-coloring pass."""
+
+    layers_colored: int = 0
+    total_iterations: int = 0
+    max_iterations_per_layer: int = 0
+    gather_rounds: int = 0
+
+
+def build_layers(
+    graph: Graph,
+    base: set[int],
+    max_depth: int | None = None,
+    allowed: set[int] | None = None,
+) -> list[list[int]]:
+    """Layers ``[B_0, B_1, ..]`` by exact distance from ``base``.
+
+    Thin wrapper over :func:`repro.graphs.bfs.distance_layers`, kept for
+    vocabulary symmetry with the paper.
+    """
+    return distance_layers(graph, base, max_depth=max_depth, allowed=allowed)
+
+
+def color_layers_in_reverse(
+    graph: Graph,
+    colors: list[int],
+    layers: list[list[int]],
+    max_colors: int,
+    engine: ListEngine,
+    ledger: RoundLedger,
+    rng: random.Random | None = None,
+    base_colors: list[int] | None = None,
+    palette: int | None = None,
+    include_layer_zero: bool = False,
+    strict: bool = False,
+) -> LayerColoringReport:
+    """Color ``layers[s], .., layers[1]`` (optionally also ``layers[0]``)
+    in reverse order with the chosen (deg+1)-list engine.
+
+    ``include_layer_zero`` is used by phase (7), where C_0's slack
+    guarantees (T-nodes / boundary) make C_0 itself a valid deg+1
+    instance; the B/D layerings instead color their layer 0 by
+    degree-choosability and pass False.
+
+    In strict mode, verifies the structural contract before each layer:
+    every node of layer i has a neighbour in layer i-1 (its uncolored
+    lower neighbour at coloring time).
+    """
+    rng = rng if rng is not None else random.Random(0)
+    if engine == "deterministic" and (base_colors is None or palette is None):
+        raise AlgorithmContractError("deterministic engine needs base_colors + palette")
+    report = LayerColoringReport()
+    last = 0 if include_layer_zero else 1
+    for index in range(len(layers) - 1, last - 1, -1):
+        layer = layers[index]
+        if not layer:
+            continue
+        if strict and index >= 1:
+            previous = set(layers[index - 1])
+            for v in layer:
+                if not any(u in previous for u in graph.adj[v]):
+                    raise AlgorithmContractError(
+                        f"layer {index} node {v} has no neighbour in layer {index - 1}"
+                    )
+            for v in layer:
+                if colors[v] != UNCOLORED:
+                    raise AlgorithmContractError(
+                        f"layer {index} node {v} is already colored"
+                    )
+        targets = set(layer)
+        if engine == "random":
+            stats = list_coloring_random(
+                graph, colors, targets, max_colors, ledger, rng, strict=strict
+            )
+        elif engine == "hybrid":
+            stats = list_coloring_hybrid(
+                graph, colors, targets, max_colors, ledger, rng, strict=strict
+            )
+        else:
+            stats = list_coloring_deterministic(
+                graph, colors, targets, max_colors, base_colors, palette, ledger,
+                strict=strict,
+            )
+        report.layers_colored += 1
+        report.total_iterations += stats.iterations
+        report.max_iterations_per_layer = max(
+            report.max_iterations_per_layer, stats.iterations
+        )
+        report.gather_rounds += stats.gather_rounds
+    return report

@@ -1,0 +1,275 @@
+"""Coloring the small leftover components (Section 4.3, phase (6)).
+
+After the shattering phases (4)-(5), the unhappy remainder L consists of
+small connected components w.h.p. (Lemmas 23/24).  Each component C is
+colored *before* the C-layers, while its surroundings look like:
+
+* neighbours inside C — uncolored;
+* neighbours in the outermost happiness layer C_{2r} — uncolored (colored
+  later, in phase (7)): these make a node *free*;
+* marked neighbours — colored 1 (fixed).
+
+The paper's per-component algorithm (Section 4.3) is reproduced:
+
+1. free nodes (degree < Δ, or an uncolored neighbour outside C) select
+   themselves; nodes in a DCC of radius <= R select one;
+2. a ruling set M' of the virtual graph C_DCC (free nodes + DCCs) is
+   computed (virtual Luby, as in phase (2));
+3. D-layers by distance to M'; layers are colored in reverse as deg+1
+   list instances; D_0's DCCs are colored by degree-choosability and its
+   free nodes take their guaranteed free color.
+
+Lemmas 26/27 guarantee (under the paper's asymptotic parameters) that D_0
+is non-empty and the D-layers exhaust C.  With practical parameters either
+can fail on unlucky components; the implementation then falls back to
+solving C directly as a degree-list instance (fallbacks are counted and
+reported — see DESIGN.md §4.5).  The backoff >= 5 invariant of the marking
+process guarantees the fallback instance is feasible: marks of distinct
+T-nodes are never adjacent, so a component squeezed between marks always
+retains a DCC, a free node, or a degree-deficient node.
+
+Components are node-disjoint and non-adjacent (maximal connected pieces of
+L), so they are processed concurrently; the charged LOCAL cost is the max
+of the per-component costs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import AlgorithmContractError, InfeasibleListColoringError
+from repro.core.dcc import detect_dccs, virtual_graph_ruling_set
+from repro.core.degree_choosable import degree_list_color
+from repro.core.layering import color_layers_in_reverse
+from repro.graphs.bfs import distance_layers
+from repro.graphs.graph import Graph
+from repro.graphs.validation import UNCOLORED
+from repro.local.rounds import RoundLedger
+
+__all__ = ["SmallComponentsReport", "color_small_components"]
+
+
+@dataclass
+class SmallComponentsReport:
+    """Statistics of phase (6) — experiment E7's component table.
+
+    ``component_sizes`` is the size distribution the shattering lemma
+    bounds; ``fallbacks`` counts components that needed the direct
+    degree-list fallback; ``max_rounds`` is the charged (max) LOCAL cost.
+    """
+
+    component_sizes: list[int] = field(default_factory=list)
+    free_node_components: int = 0
+    dcc_components: int = 0
+    fallbacks: int = 0
+    max_rounds: int = 0
+
+
+def color_small_components(
+    graph: Graph,
+    colors: list[int],
+    leftover: set[int],
+    delta: int,
+    dcc_radius: int,
+    ledger: RoundLedger,
+    rng: random.Random | None = None,
+    engine: str = "hybrid",
+    base_colors: list[int] | None = None,
+    palette: int | None = None,
+    strict: bool = False,
+) -> SmallComponentsReport:
+    """Phase (6): Δ-color every component of ``leftover`` in place.
+
+    ``engine`` selects the per-layer list-coloring engine ("hybrid",
+    "random", or "deterministic" with ``base_colors``/``palette``).
+    """
+    rng = rng if rng is not None else random.Random(0)
+    report = SmallComponentsReport()
+    components = _components(graph, leftover)
+    costs = []
+    for component in components:
+        report.component_sizes.append(len(component))
+        local = RoundLedger()
+        _color_component(
+            graph, colors, component, delta, dcc_radius, local, rng,
+            engine, base_colors, palette, strict, report,
+        )
+        costs.append(local.total_rounds)
+    ledger.charge_max(costs)
+    report.max_rounds = max(costs, default=0)
+    return report
+
+
+def _components(graph: Graph, members: set[int]) -> list[list[int]]:
+    seen: set[int] = set()
+    out = []
+    for start in sorted(members):
+        if start in seen:
+            continue
+        seen.add(start)
+        stack = [start]
+        component = [start]
+        while stack:
+            u = stack.pop()
+            for w in graph.adj[u]:
+                if w in members and w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+                    component.append(w)
+        out.append(sorted(component))
+    return out
+
+
+def _color_component(
+    graph: Graph,
+    colors: list[int],
+    component: list[int],
+    delta: int,
+    dcc_radius: int,
+    ledger: RoundLedger,
+    rng: random.Random,
+    engine: str,
+    base_colors: list[int] | None,
+    palette: int | None,
+    strict: bool,
+    report: SmallComponentsReport,
+) -> None:
+    member_set = set(component)
+
+    free_nodes = _free_nodes(graph, colors, member_set, delta)
+    if free_nodes:
+        report.free_node_components += 1
+
+    detection = detect_dccs(graph, dcc_radius, active=member_set, ledger=ledger)
+    if detection.dccs:
+        report.dcc_components += 1
+
+    # Virtual graph C_DCC: DCC subgraphs plus free-node singletons.
+    systems: list[tuple[int, ...]] = list(detection.dccs)
+    systems.extend((v,) for v in sorted(free_nodes))
+    if not systems:
+        _fallback(graph, colors, component, delta, ledger, report)
+        return
+
+    chosen, _iterations = virtual_graph_ruling_set(
+        graph, systems, rounds_per_virtual=max(1, 2 * dcc_radius + 1),
+        ledger=ledger, rng=rng,
+    )
+    seeds = {v for idx in chosen for v in systems[idx]}
+
+    layers = distance_layers(graph, seeds, allowed=member_set)
+    covered = {v for layer in layers for v in layer}
+    if covered != member_set:
+        # Lemma 26 failed under practical parameters: direct fallback.
+        _fallback(graph, colors, component, delta, ledger, report)
+        return
+
+    color_layers_in_reverse(
+        graph, colors, layers, delta, engine, ledger, rng,
+        base_colors=base_colors, palette=palette, strict=strict,
+    )
+
+    # D_0: chosen DCCs by degree-choosability, chosen free nodes greedily.
+    costs = []
+    for idx in chosen:
+        system = systems[idx]
+        if len(system) == 1:
+            v = system[0]
+            if not _take_available(graph, colors, v, delta):
+                raise AlgorithmContractError(
+                    f"free node {v} had no available color in D_0"
+                )
+            costs.append(1)
+        else:
+            _color_dcc(graph, colors, set(system), delta)
+            costs.append(2 * dcc_radius + 1)
+    ledger.charge_max(costs)
+
+    if strict:
+        for v in component:
+            if colors[v] == UNCOLORED:
+                raise AlgorithmContractError(f"component node {v} left uncolored")
+
+
+def _free_nodes(
+    graph: Graph, colors: list[int], member_set: set[int], delta: int
+) -> set[int]:
+    """Free nodes of the component: degree < Δ, or an uncolored neighbour
+    outside the component (an outer-happiness-layer node, colored later)."""
+    free = set()
+    for v in member_set:
+        if graph.degree(v) < delta:
+            free.add(v)
+            continue
+        for u in graph.adj[v]:
+            if u not in member_set and colors[u] == UNCOLORED:
+                free.add(v)
+                break
+    return free
+
+
+def _take_available(graph: Graph, colors: list[int], v: int, max_colors: int) -> bool:
+    used = {colors[u] for u in graph.adj[v] if colors[u] != UNCOLORED}
+    for c in range(1, max_colors + 1):
+        if c not in used:
+            colors[v] = c
+            return True
+    return False
+
+
+def _color_dcc(graph: Graph, colors: list[int], block: set[int], max_colors: int) -> None:
+    """Color an (uncolored) DCC by degree-choosability against its colored
+    surroundings."""
+    sub, originals = graph.subgraph(sorted(block))
+    lists = []
+    for u in originals:
+        taken = {
+            colors[w]
+            for w in graph.adj[u]
+            if colors[w] != UNCOLORED and w not in block
+        }
+        lists.append({c for c in range(1, max_colors + 1) if c not in taken})
+    assignment = degree_list_color(sub, lists)
+    for i, u in enumerate(originals):
+        colors[u] = assignment[i]
+
+
+def _fallback(
+    graph: Graph,
+    colors: list[int],
+    component: list[int],
+    delta: int,
+    ledger: RoundLedger,
+    report: SmallComponentsReport,
+) -> None:
+    """Direct resolution: gather the component, solve it as a degree-list
+    instance against its colored boundary (marked nodes at color 1)."""
+    report.fallbacks += 1
+    member_set = set(component)
+    sub, originals = graph.subgraph(component)
+    lists = []
+    for u in originals:
+        taken = {
+            colors[w]
+            for w in graph.adj[u]
+            if colors[w] != UNCOLORED and w not in member_set
+        }
+        lists.append({c for c in range(1, delta + 1) if c not in taken})
+    try:
+        assignment = degree_list_color(sub, lists)
+    except InfeasibleListColoringError as error:
+        raise AlgorithmContractError(
+            f"leftover component of size {len(component)} is infeasible "
+            f"against its marked boundary — the backoff >= 5 invariant "
+            f"should make this impossible: {error}"
+        ) from error
+    for i, u in enumerate(originals):
+        colors[u] = assignment[i]
+    # Gathering cost: 2 · component radius + 1.
+    from repro.graphs.bfs import bfs_distances
+
+    leader = component[0]
+    dist = bfs_distances(graph, [leader], allowed=member_set)
+    radius = max(dist[v] for v in component)
+    ledger.charge(2 * radius + 1)

@@ -1,0 +1,176 @@
+"""Coloring the graphs Brooks' theorem excludes, and whole-graph dispatch.
+
+The Δ-coloring algorithms require *nice* graphs: connected and not a
+clique, cycle, or path.  A downstream user, however, has arbitrary
+graphs — possibly disconnected, possibly containing the excluded
+families.  This module completes the library:
+
+* :func:`color_special` — optimally colors the non-nice families:
+  paths and even cycles with 2 colors, odd cycles with 3, cliques K_k
+  with k (each matching its chromatic number; note χ = Δ+1 for odd
+  cycles and cliques — exactly Brooks' exceptions);
+* :func:`color_graph` — colors *any* graph, component by component:
+  nice components get the paper's Δ-coloring (with the per-component Δ),
+  excluded components get their optimal special coloring.  The round
+  cost is the max over components (they run concurrently in LOCAL).
+
+The LOCAL cost of the special families is honest: paths and cycles
+genuinely need Θ(n) rounds to 2/3-color (this is the paper's remark that
+"2-coloring graphs with Δ = 2 may need Ω(n) rounds"); cliques have
+diameter 1 and cost O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NotNiceGraphError
+from repro.core.randomized import (
+    RandomizedParams,
+    delta_coloring_randomized,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.properties import (
+    is_complete,
+    is_cycle_graph,
+    is_nice,
+    is_path_graph,
+)
+from repro.graphs.validation import UNCOLORED, validate_coloring
+
+__all__ = ["SpecialColoring", "color_special", "ComponentColoring", "color_graph"]
+
+
+@dataclass
+class SpecialColoring:
+    """Result of coloring one of Brooks' excluded families."""
+
+    colors: list[int]
+    num_colors: int
+    rounds: int
+    family: str
+
+
+def color_special(graph: Graph) -> SpecialColoring:
+    """Optimally color a connected clique, cycle, or path.
+
+    Raises :class:`NotNiceGraphError` if the graph is none of these (use
+    the Δ-coloring algorithms instead), including the single-node /
+    edgeless cases which are handled as trivial paths.
+    """
+    if graph.n == 0:
+        return SpecialColoring(colors=[], num_colors=0, rounds=0, family="empty")
+    if is_complete(graph):
+        # Clique K_k: k colors; diameter 1, so ids order a 1-round greedy.
+        colors = [v + 1 for v in range(graph.n)]
+        return SpecialColoring(
+            colors=colors, num_colors=graph.n, rounds=1, family="clique"
+        )
+    if is_path_graph(graph):
+        colors = _two_color_from(graph, _path_endpoint(graph))
+        return SpecialColoring(
+            colors=colors, num_colors=min(2, max(1, graph.n)), rounds=graph.n,
+            family="path",
+        )
+    if is_cycle_graph(graph):
+        order = _walk_cycle(graph, 0)
+        colors = [UNCOLORED] * graph.n
+        for index, v in enumerate(order):
+            colors[v] = 1 + index % 2
+        if graph.n % 2 == 1:
+            # Odd cycle: the walk's last node takes the third color.
+            colors[order[-1]] = 3
+            family, k = "odd-cycle", 3
+        else:
+            family, k = "even-cycle", 2
+        validate_coloring(graph, colors, max_colors=k)
+        return SpecialColoring(colors=colors, num_colors=k, rounds=graph.n, family=family)
+    raise NotNiceGraphError(
+        "graph is nice — use delta_color / delta_coloring_* instead"
+    )
+
+
+def _path_endpoint(graph: Graph) -> int:
+    if graph.n == 1:
+        return 0
+    return next(v for v in range(graph.n) if graph.degree(v) == 1)
+
+
+def _walk_cycle(graph: Graph, start: int) -> list[int]:
+    """The cycle's nodes in traversal order starting at ``start``."""
+    order = [start]
+    previous, current = None, start
+    while True:
+        nxt = next(u for u in graph.adj[current] if u != previous)
+        if nxt == start:
+            return order
+        order.append(nxt)
+        previous, current = current, nxt
+
+
+def _two_color_from(graph: Graph, start: int) -> list[int]:
+    """Alternating 2-coloring by BFS parity from ``start`` (Θ(n) rounds in
+    LOCAL — the information must traverse the whole path/cycle)."""
+    colors = [UNCOLORED] * graph.n
+    colors[start] = 1
+    frontier = [start]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for w in graph.adj[u]:
+                if colors[w] == UNCOLORED:
+                    colors[w] = 3 - colors[u]
+                    nxt.append(w)
+        frontier = nxt
+    return colors
+
+
+@dataclass
+class ComponentColoring:
+    """Result of :func:`color_graph` on an arbitrary graph.
+
+    ``num_colors`` is the global palette size (components share colors
+    1..k); ``component_families`` counts how each component was handled;
+    ``rounds`` is the max over components.
+    """
+
+    colors: list[int]
+    num_colors: int
+    rounds: int
+    component_families: dict[str, int] = field(default_factory=dict)
+
+
+def color_graph(graph: Graph, seed: int = 0, strict: bool = False) -> ComponentColoring:
+    """Color an arbitrary graph with the fewest colors this library can
+    guarantee per component: Δ_component for nice components (the paper's
+    algorithms), χ for the excluded families.
+
+    Components are independent in LOCAL, so they are colored concurrently
+    and the cost is the slowest component.  This is also the natural
+    *failure-handling* entry point: after crashed nodes are removed, the
+    survivor graph is recolored per component (see
+    ``tests/test_special_cases.py``).
+    """
+    result = ComponentColoring(colors=[UNCOLORED] * graph.n, num_colors=0, rounds=0)
+    for component in graph.connected_components():
+        sub, originals = graph.subgraph(component)
+        if sub.n == 1:
+            assignment, used, rounds, family = [1], 1, 0, "isolated"
+        elif is_nice(sub):
+            params = RandomizedParams(seed=seed, strict=strict)
+            if sub.max_degree() < 3:
+                raise AssertionError("nice graphs have Δ >= 3")
+            res = delta_coloring_randomized(sub, params)
+            assignment = res.colors
+            used, rounds, family = sub.max_degree(), res.rounds, "nice"
+        else:
+            special = color_special(sub)
+            assignment = special.colors
+            used, rounds, family = special.num_colors, special.rounds, special.family
+        for i, v in enumerate(originals):
+            result.colors[v] = assignment[i]
+        result.num_colors = max(result.num_colors, used)
+        result.rounds = max(result.rounds, rounds)
+        result.component_families[family] = result.component_families.get(family, 0) + 1
+    validate_coloring(graph, result.colors, max_colors=result.num_colors or None)
+    return result

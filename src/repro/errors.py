@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of the reproduction with a single handler.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graph inputs (self-loops, bad edges, ...)."""
+
+
+class ColoringError(ReproError):
+    """Raised when a produced or supplied coloring violates a contract.
+
+    Attributes
+    ----------
+    violations:
+        A list of human-readable violation descriptions (possibly truncated);
+        useful in test failure output.
+    """
+
+    def __init__(self, message: str, violations: list[str] | None = None):
+        super().__init__(message)
+        self.violations = violations or []
+
+
+class NotNiceGraphError(ReproError):
+    """Raised when an algorithm requiring a *nice* graph receives a clique,
+    cycle, or path (these graphs are not Δ-colorable by Brooks' theorem or
+    need special handling)."""
+
+
+class InfeasibleListColoringError(ReproError):
+    """Raised when a degree-list coloring instance admits no solution.
+
+    By Theorem 8 (Erdős–Rubin–Taylor / Vizing) this can only happen when the
+    underlying graph is a Gallai tree with tight lists; the algorithms in
+    this package only create instances where a solution is guaranteed, so
+    seeing this error indicates a caller bug.
+    """
+
+
+class AlgorithmContractError(ReproError):
+    """Raised in strict mode when an internal per-phase invariant fails.
+
+    The randomized/deterministic Δ-coloring pipelines check their phase
+    contracts (layer structure, T-node validity, independence of base-layer
+    components, ...) when ``strict=True``; a failure means the implementation
+    deviated from the paper's invariants, never that the input was unlucky.
+    """

@@ -1,0 +1,243 @@
+"""Breadth-first-search utilities: distances, balls, layers, BFS trees.
+
+These are the workhorses behind the paper's machinery: the layering
+technique (layers ``B_i`` = nodes at distance exactly ``i`` from the base
+layer, Section 3), the happiness layers ``C_i`` of phase (5), DCC detection
+on radius-``r`` balls, and the expansion measurements of Lemmas 12/14/15
+(which count nodes per BFS level).
+
+All functions take an optional ``allowed`` predicate/set restricting the
+traversal to a node subset — the paper constantly BFS-es inside a remainder
+graph ``H`` or along *uncolored* paths, and filtering during traversal is
+much cheaper than materialising induced subgraphs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "bfs_distances",
+    "bfs_ball",
+    "bfs_levels",
+    "bfs_tree",
+    "distance_layers",
+    "closest_source_assignment",
+    "eccentricity",
+]
+
+UNREACHED = -1
+
+
+def _normalize_allowed(
+    graph: Graph, allowed: set[int] | Sequence[bool] | Callable[[int], bool] | None
+) -> Callable[[int], bool]:
+    """Turn the flexible ``allowed`` argument into a predicate."""
+    if allowed is None:
+        return lambda _v: True
+    if callable(allowed):
+        return allowed
+    if isinstance(allowed, set) or isinstance(allowed, frozenset):
+        return allowed.__contains__
+    flags = allowed
+    return lambda v: bool(flags[v])
+
+
+def bfs_distances(
+    graph: Graph,
+    sources: Iterable[int],
+    max_depth: int | None = None,
+    allowed: set[int] | Sequence[bool] | Callable[[int], bool] | None = None,
+) -> list[int]:
+    """Multi-source BFS distances.
+
+    Returns a list ``dist`` with ``dist[v]`` the hop distance from the
+    closest source, or ``UNREACHED`` (-1) if ``v`` is farther than
+    ``max_depth`` or unreachable.  Sources that are not ``allowed`` are
+    skipped; traversal never enters disallowed nodes.
+    """
+    ok = _normalize_allowed(graph, allowed)
+    dist = [UNREACHED] * graph.n
+    queue: deque[int] = deque()
+    for s in sources:
+        if dist[s] == UNREACHED and ok(s):
+            dist[s] = 0
+            queue.append(s)
+    adj = graph.adj
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        if max_depth is not None and du >= max_depth:
+            continue
+        for v in adj[u]:
+            if dist[v] == UNREACHED and ok(v):
+                dist[v] = du + 1
+                queue.append(v)
+    return dist
+
+
+def bfs_ball(
+    graph: Graph,
+    center: int,
+    radius: int,
+    allowed: set[int] | Sequence[bool] | Callable[[int], bool] | None = None,
+) -> list[int]:
+    """Nodes at distance at most ``radius`` from ``center`` (including it).
+
+    This is the LOCAL-model "collect your radius-r neighbourhood" primitive;
+    callers charge ``radius`` rounds for it on the ledger.
+    """
+    ok = _normalize_allowed(graph, allowed)
+    if not ok(center):
+        return []
+    dist = {center: 0}
+    queue: deque[int] = deque([center])
+    adj = graph.adj
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        if du >= radius:
+            continue
+        for v in adj[u]:
+            if v not in dist and ok(v):
+                dist[v] = du + 1
+                queue.append(v)
+    return list(dist)
+
+
+def bfs_levels(
+    graph: Graph,
+    center: int,
+    radius: int,
+    allowed: set[int] | Sequence[bool] | Callable[[int], bool] | None = None,
+) -> list[list[int]]:
+    """BFS levels ``[B_0, B_1, .., B_radius]`` around ``center``.
+
+    ``B_t`` is the list of nodes at distance exactly ``t``; trailing empty
+    levels are preserved so ``len(result) == radius + 1`` (Lemmas 12/14/15
+    reason about the size of a specific level ``B_r``).
+    """
+    ok = _normalize_allowed(graph, allowed)
+    levels: list[list[int]] = [[] for _ in range(radius + 1)]
+    if not ok(center):
+        return levels
+    dist = {center: 0}
+    levels[0].append(center)
+    queue: deque[int] = deque([center])
+    adj = graph.adj
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        if du >= radius:
+            continue
+        for v in adj[u]:
+            if v not in dist and ok(v):
+                dist[v] = du + 1
+                levels[du + 1].append(v)
+                queue.append(v)
+    return levels
+
+
+def bfs_tree(
+    graph: Graph,
+    center: int,
+    radius: int,
+    allowed: set[int] | Sequence[bool] | Callable[[int], bool] | None = None,
+) -> tuple[dict[int, int], dict[int, int]]:
+    """BFS tree around ``center`` truncated at depth ``radius``.
+
+    Returns ``(parent, level)`` dictionaries over the reached nodes, with
+    ``parent[center] == center``.  Lemma 10 shows this tree is *unique* in
+    graphs without small degree-choosable components; the test suite checks
+    that (every non-root reached node has exactly one neighbour on the
+    previous level).
+    """
+    ok = _normalize_allowed(graph, allowed)
+    parent: dict[int, int] = {}
+    level: dict[int, int] = {}
+    if not ok(center):
+        return parent, level
+    parent[center] = center
+    level[center] = 0
+    queue: deque[int] = deque([center])
+    adj = graph.adj
+    while queue:
+        u = queue.popleft()
+        du = level[u]
+        if du >= radius:
+            continue
+        for v in adj[u]:
+            if v not in level and ok(v):
+                level[v] = du + 1
+                parent[v] = u
+                queue.append(v)
+    return parent, level
+
+
+def distance_layers(
+    graph: Graph,
+    base: Iterable[int],
+    max_depth: int | None = None,
+    allowed: set[int] | Sequence[bool] | Callable[[int], bool] | None = None,
+) -> list[list[int]]:
+    """Layers of the layering technique: ``layers[i]`` = nodes at distance
+    exactly ``i`` from the base set (``layers[0]`` = base itself).
+
+    This is exactly how the paper builds ``B_1, .., B_s`` from ``B_0``
+    (Section 3) and the ``C``/``D`` layers of phases (5) and (6).  The
+    result stops at the last non-empty layer (or ``max_depth``).
+    """
+    dist = bfs_distances(graph, base, max_depth=max_depth, allowed=allowed)
+    depth = max((d for d in dist if d != UNREACHED), default=-1)
+    layers: list[list[int]] = [[] for _ in range(depth + 1)]
+    for v, d in enumerate(dist):
+        if d != UNREACHED:
+            layers[d].append(v)
+    return layers
+
+
+def closest_source_assignment(
+    graph: Graph,
+    sources: Iterable[int],
+    max_depth: int | None = None,
+    allowed: set[int] | Sequence[bool] | Callable[[int], bool] | None = None,
+) -> tuple[list[int], list[int]]:
+    """Assign every reached node to its closest source, ties by smaller id.
+
+    Returns ``(dist, assigned)`` lists; unreached nodes have ``dist == -1``
+    and ``assigned == -1``.  Phase (5) of the randomized algorithm assigns
+    each happy node to its closest T-node / boundary node "breaking ties
+    using identifiers" — this implements that rule: the BFS processes
+    sources in ascending id order, and on equal distance the smaller
+    assigned source id wins because it is enqueued first.
+    """
+    ok = _normalize_allowed(graph, allowed)
+    dist = [UNREACHED] * graph.n
+    assigned = [UNREACHED] * graph.n
+    queue: deque[int] = deque()
+    for s in sorted(set(sources)):
+        if ok(s) and dist[s] == UNREACHED:
+            dist[s] = 0
+            assigned[s] = s
+            queue.append(s)
+    adj = graph.adj
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        if max_depth is not None and du >= max_depth:
+            continue
+        for v in adj[u]:
+            if dist[v] == UNREACHED and ok(v):
+                dist[v] = du + 1
+                assigned[v] = assigned[u]
+                queue.append(v)
+    return dist, assigned
+
+
+def eccentricity(graph: Graph, v: int, allowed=None) -> int:
+    """Eccentricity of ``v`` within its (allowed) connected component."""
+    dist = bfs_distances(graph, [v], allowed=allowed)
+    return max((d for d in dist if d != UNREACHED), default=0)

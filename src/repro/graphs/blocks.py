@@ -1,0 +1,148 @@
+"""Biconnected components (blocks), cut vertices, and the block-cut tree.
+
+Gallai trees (Definition 7) are graphs whose maximal 2-connected components
+are all cliques or odd cycles, and Theorem 8 (Erdős–Rubin–Taylor / Vizing)
+says these are exactly the graphs that are *not* degree-choosable.  Block
+decomposition is therefore the backbone of both DCC detection (a block that
+is neither a clique nor an odd cycle is a degree-choosable component,
+Definition 9) and of the constructive degree-list coloring in
+``repro.core.degree_choosable``.
+
+The implementation is an iterative Hopcroft–Tarjan DFS (no recursion, so it
+handles blocks of ten of thousands of nodes without hitting Python's
+recursion limit).
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+
+__all__ = ["biconnected_components", "cut_vertices", "block_cut_forest", "BlockDecomposition"]
+
+
+class BlockDecomposition:
+    """Result of a block decomposition.
+
+    Attributes
+    ----------
+    blocks:
+        List of blocks; each block is a sorted list of the nodes it spans.
+        An isolated vertex forms no block; a bridge edge forms a 2-node
+        block (a K2, which counts as a clique).
+    cut_vertices:
+        Set of articulation points.
+    blocks_of_node:
+        ``blocks_of_node[v]`` lists indices (into ``blocks``) of the blocks
+        containing ``v``; non-cut vertices belong to at most one block.
+    """
+
+    def __init__(self, blocks: list[list[int]], cuts: set[int], n: int):
+        self.blocks = blocks
+        self.cut_vertices = cuts
+        self.blocks_of_node: list[list[int]] = [[] for _ in range(n)]
+        for idx, block in enumerate(blocks):
+            for v in block:
+                self.blocks_of_node[v].append(idx)
+
+
+def biconnected_components(graph: Graph) -> BlockDecomposition:
+    """Compute all blocks (maximal 2-connected subgraphs) of ``graph``.
+
+    Iterative Hopcroft–Tarjan: classic low-link computation with an explicit
+    DFS stack and an edge stack; every time a child subtree cannot reach
+    above the current vertex, the edges accumulated since entering the child
+    are popped as one block.
+    """
+    n = graph.n
+    adj = graph.adj
+    disc = [0] * n        # discovery time, 0 = unvisited
+    low = [0] * n
+    timer = 1
+    cuts: set[int] = set()
+    blocks: list[list[int]] = []
+    edge_stack: list[tuple[int, int]] = []
+
+    for root in range(n):
+        if disc[root]:
+            continue
+        # Each stack frame: (vertex, parent, iterator index into adj[vertex]).
+        stack: list[list[int]] = [[root, -1, 0]]
+        disc[root] = low[root] = timer
+        timer += 1
+        root_children = 0
+        while stack:
+            frame = stack[-1]
+            u, parent, i = frame
+            if i < len(adj[u]):
+                frame[2] += 1
+                v = adj[u][i]
+                if v == parent and i == _first_parent_slot(adj[u], parent, i):
+                    # Skip exactly one occurrence of the tree edge back to the
+                    # parent (simple graphs: there is exactly one).
+                    continue
+                if not disc[v]:
+                    edge_stack.append((u, v))
+                    disc[v] = low[v] = timer
+                    timer += 1
+                    stack.append([v, u, 0])
+                    if u == root:
+                        root_children += 1
+                elif disc[v] < disc[u]:
+                    edge_stack.append((u, v))
+                    if disc[v] < low[u]:
+                        low[u] = disc[v]
+            else:
+                stack.pop()
+                if parent != -1:
+                    if low[u] < low[parent]:
+                        low[parent] = low[u]
+                    if low[u] >= disc[parent]:
+                        # parent is a cut vertex (unless it is the root with
+                        # a single child, handled below) and the edges since
+                        # (parent, u) form a block.
+                        block_nodes: set[int] = set()
+                        while edge_stack:
+                            a, b = edge_stack[-1]
+                            if disc[a] >= disc[u]:
+                                edge_stack.pop()
+                                block_nodes.add(a)
+                                block_nodes.add(b)
+                            else:
+                                break
+                        if edge_stack and edge_stack[-1] == (parent, u):
+                            edge_stack.pop()
+                        block_nodes.add(parent)
+                        block_nodes.add(u)
+                        blocks.append(sorted(block_nodes))
+                        if parent != root or root_children > 1:
+                            cuts.add(parent)
+        # Root cut status was handled inline via root_children.
+    return BlockDecomposition(blocks, cuts, n)
+
+
+def _first_parent_slot(neighbors: list[int], parent: int, current: int) -> int:
+    """Index of the first occurrence of ``parent`` in ``neighbors``.
+
+    Simple graphs store each neighbour once, so this exists and the DFS
+    skips the tree edge exactly once.
+    """
+    return neighbors.index(parent)
+
+
+def cut_vertices(graph: Graph) -> set[int]:
+    """Articulation points of ``graph``."""
+    return biconnected_components(graph).cut_vertices
+
+
+def block_cut_forest(graph: Graph) -> tuple[list[list[int]], dict[int, list[int]]]:
+    """Block-cut forest: bipartite structure between blocks and cut nodes.
+
+    Returns ``(blocks, tree_adj)`` where ``tree_adj`` maps *block index* to
+    the list of cut vertices it contains, which is enough structure for the
+    leaf-block peeling used by the constructive list colorer.
+    """
+    decomposition = biconnected_components(graph)
+    tree_adj: dict[int, list[int]] = {}
+    for idx, block in enumerate(decomposition.blocks):
+        tree_adj[idx] = [v for v in block if v in decomposition.cut_vertices]
+    return decomposition.blocks, tree_adj

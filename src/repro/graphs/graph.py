@@ -1,0 +1,228 @@
+"""Core graph data structure for the LOCAL-model simulator.
+
+The paper works with simple undirected graphs ``G = (V, E)`` where ``V`` is
+identified with ``{0, .., n-1}``; the node index doubles as the unique
+identifier that LOCAL-model algorithms may use for symmetry breaking.
+
+The representation is a plain adjacency list (``list[list[int]]``) with an
+optional lazily-built set view for O(1) edge queries.  This is deliberately
+minimal and fast: the whole reproduction simulates synchronous rounds over
+graphs with up to a few hundred thousand edges in pure Python, so every
+hot-path operation here avoids object overhead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.errors import GraphError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """A simple undirected graph on nodes ``0..n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    edges:
+        Iterable of ``(u, v)`` pairs with ``0 <= u, v < n`` and ``u != v``.
+        Duplicate edges are rejected.
+
+    Notes
+    -----
+    Instances are treated as immutable after construction; all algorithms
+    derive new graphs via :meth:`subgraph` instead of mutating.
+    """
+
+    __slots__ = ("n", "adj", "_adj_sets", "_num_edges")
+
+    def __init__(self, n: int, edges: Iterable[tuple[int, int]] = ()):
+        if n < 0:
+            raise GraphError(f"node count must be non-negative, got {n}")
+        self.n = n
+        self.adj: list[list[int]] = [[] for _ in range(n)]
+        self._adj_sets: list[set[int]] | None = None
+        seen: set[tuple[int, int]] = set()
+        count = 0
+        for u, v in edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise GraphError(f"edge ({u}, {v}) out of range for n={n}")
+            if u == v:
+                raise GraphError(f"self-loop at node {u} is not allowed")
+            key = (u, v) if u < v else (v, u)
+            if key in seen:
+                raise GraphError(f"duplicate edge ({u}, {v})")
+            seen.add(key)
+            self.adj[u].append(v)
+            self.adj[v].append(u)
+            count += 1
+        self._num_edges = count
+
+    # -- factory helpers -------------------------------------------------
+
+    @classmethod
+    def from_adjacency(cls, adj: Sequence[Sequence[int]]) -> "Graph":
+        """Build a graph from an adjacency-list structure.
+
+        The adjacency lists must be symmetric (``v in adj[u]`` iff
+        ``u in adj[v]``); this is validated.
+        """
+        n = len(adj)
+        edges = []
+        for u in range(n):
+            for v in adj[u]:
+                if u < v:
+                    edges.append((u, v))
+        graph = cls(n, edges)
+        for u in range(n):
+            if sorted(graph.adj[u]) != sorted(adj[u]):
+                raise GraphError(f"adjacency list of node {u} is not symmetric")
+        return graph
+
+    # -- basic queries ----------------------------------------------------
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return self._num_edges
+
+    def degree(self, v: int) -> int:
+        """Degree of node ``v``."""
+        return len(self.adj[v])
+
+    def degrees(self) -> list[int]:
+        """List of all node degrees, indexed by node."""
+        return [len(nbrs) for nbrs in self.adj]
+
+    def max_degree(self) -> int:
+        """Maximum degree Δ of the graph (0 for the empty graph)."""
+        if self.n == 0:
+            return 0
+        return max(len(nbrs) for nbrs in self.adj)
+
+    def min_degree(self) -> int:
+        """Minimum degree of the graph (0 for the empty graph)."""
+        if self.n == 0:
+            return 0
+        return min(len(nbrs) for nbrs in self.adj)
+
+    def neighbors(self, v: int) -> list[int]:
+        """The adjacency list of ``v`` (do not mutate)."""
+        return self.adj[v]
+
+    def adjacency_sets(self) -> list[set[int]]:
+        """Set-of-neighbors view, built lazily and cached."""
+        if self._adj_sets is None:
+            self._adj_sets = [set(nbrs) for nbrs in self.adj]
+        return self._adj_sets
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff ``{u, v}`` is an edge."""
+        return v in self.adjacency_sets()[u]
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate undirected edges as ``(u, v)`` with ``u < v``."""
+        for u in range(self.n):
+            for v in self.adj[u]:
+                if u < v:
+                    yield (u, v)
+
+    def nodes(self) -> range:
+        """Range over all node indices."""
+        return range(self.n)
+
+    # -- connectivity -----------------------------------------------------
+
+    def connected_components(self) -> list[list[int]]:
+        """Connected components as lists of nodes (each sorted ascending)."""
+        seen = [False] * self.n
+        components: list[list[int]] = []
+        for start in range(self.n):
+            if seen[start]:
+                continue
+            seen[start] = True
+            stack = [start]
+            component = [start]
+            while stack:
+                u = stack.pop()
+                for v in self.adj[u]:
+                    if not seen[v]:
+                        seen[v] = True
+                        stack.append(v)
+                        component.append(v)
+            component.sort()
+            components.append(component)
+        return components
+
+    def is_connected(self) -> bool:
+        """True iff the graph is connected (the empty graph counts as
+        connected, single-node graphs too)."""
+        if self.n <= 1:
+            return True
+        return len(self.connected_components()) == 1
+
+    def is_connected_without(self, removed: set[int]) -> bool:
+        """True iff ``G - removed`` is connected (and non-empty or trivial).
+
+        Used by the Erdős–Rubin–Taylor gadget search, which needs
+        ``G - {a, b}`` connected.
+        """
+        remaining = [v for v in range(self.n) if v not in removed]
+        if len(remaining) <= 1:
+            return True
+        seen = set(removed)
+        start = remaining[0]
+        seen.add(start)
+        stack = [start]
+        reached = 1
+        while stack:
+            u = stack.pop()
+            for v in self.adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+                    reached += 1
+        return reached == len(remaining)
+
+    # -- derived graphs ---------------------------------------------------
+
+    def subgraph(self, nodes: Iterable[int]) -> tuple["Graph", list[int]]:
+        """Node-induced subgraph.
+
+        Returns ``(H, originals)`` where ``H`` is the induced subgraph with
+        nodes relabeled ``0..k-1`` and ``originals[i]`` is the original index
+        of ``H``'s node ``i``.
+        """
+        originals = sorted(set(nodes))
+        index = {v: i for i, v in enumerate(originals)}
+        edges = []
+        for i, v in enumerate(originals):
+            for w in self.adj[v]:
+                j = index.get(w)
+                if j is not None and i < j:
+                    edges.append((i, j))
+        return Graph(len(originals), edges), originals
+
+    def complement_within(self, nodes: Sequence[int]) -> list[tuple[int, int]]:
+        """Non-edges among ``nodes`` (pairs in original labels).
+
+        Helper for picking two non-adjacent neighbours in the marking
+        process and in the Brooks gadget; quadratic in ``len(nodes)`` which
+        is at most Δ in all call sites.
+        """
+        adj_sets = self.adjacency_sets()
+        out = []
+        node_list = list(nodes)
+        for i, u in enumerate(node_list):
+            for v in node_list[i + 1:]:
+                if v not in adj_sets[u]:
+                    out.append((u, v))
+        return out
+
+    # -- dunder -----------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Graph(n={self.n}, m={self.num_edges}, Δ={self.max_degree()})"

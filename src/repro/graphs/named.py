@@ -1,0 +1,66 @@
+"""Named graphs: classic instances with known coloring structure.
+
+These are the standard sanity vectors for coloring algorithms:
+
+* **Petersen graph** — 3-regular, girth 5, χ = 3 = Δ: a nice graph with
+  no 4-cycles (so no DCC of radius 1) but plenty of 5-cycles and
+  6-cycles; a compact stress case for DCC detection radii.
+* **Complete bipartite K_{a,b}** — χ = 2 but Δ = max(a, b); nice for
+  a, b >= 2 (except K_{2,2} = C_4... which is still handled), every
+  4-cycle a DCC: the opposite extreme from high-girth instances.
+* **Kneser graph K(5,2)** is the Petersen graph; larger Kneser graphs
+  are provided for Δ-coloring beyond toy degrees with rich symmetry.
+* **Circulant graphs** — the deterministic regular fallback family, with
+  controllable degree.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+__all__ = ["petersen_graph", "complete_bipartite", "kneser_graph", "circulant_graph"]
+
+
+def petersen_graph() -> Graph:
+    """The Petersen graph: 10 nodes, 3-regular, girth 5, χ = 3."""
+    return kneser_graph(5, 2)
+
+
+def complete_bipartite(a: int, b: int) -> Graph:
+    """K_{a,b}: bipartite, Δ = max(a, b), 4-cycles (DCCs) everywhere."""
+    if a < 1 or b < 1:
+        raise GraphError("need a, b >= 1")
+    return Graph(a + b, [(i, a + j) for i in range(a) for j in range(b)])
+
+
+def kneser_graph(n: int, k: int) -> Graph:
+    """Kneser graph K(n, k): nodes are k-subsets of [n], edges join
+    disjoint subsets.  Regular of degree C(n-k, k); K(5,2) = Petersen."""
+    if not 0 < k or n < 2 * k:
+        raise GraphError("need 0 < k and n >= 2k")
+    subsets = [frozenset(c) for c in combinations(range(n), k)]
+    index = {s: i for i, s in enumerate(subsets)}
+    edges = []
+    for i, s in enumerate(subsets):
+        for t in subsets[i + 1:]:
+            if not (s & t):
+                edges.append((i, index[t]))
+    return Graph(len(subsets), edges)
+
+
+def circulant_graph(n: int, offsets: list[int]) -> Graph:
+    """Circulant C_n(offsets): node v adjacent to v ± o for each offset."""
+    if n < 3:
+        raise GraphError("need n >= 3")
+    edges = set()
+    for v in range(n):
+        for offset in offsets:
+            if not 0 < offset <= n // 2:
+                raise GraphError(f"offset {offset} out of range for n={n}")
+            u = (v + offset) % n
+            if u != v:
+                edges.add((min(u, v), max(u, v)))
+    return Graph(n, sorted(edges))

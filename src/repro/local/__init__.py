@@ -1,0 +1,7 @@
+"""LOCAL model substrate: synchronous execution and round accounting."""
+
+from repro.local.network import NodeContext, NodeProgram, SyncNetwork
+from repro.local.rounds import PhaseBreakdown, RoundLedger
+from repro.local.slocal import SLocalRun, SLocalSimulator
+
+__all__ = ["NodeContext", "NodeProgram", "SyncNetwork", "RoundLedger", "PhaseBreakdown", "SLocalRun", "SLocalSimulator"]

@@ -1,0 +1,141 @@
+"""Synchronous message-passing engine for the LOCAL model.
+
+This is the faithful execution substrate: per-node state machines exchange
+one message per neighbour per round, with unbounded message size and
+unbounded local computation, exactly as in [Linial 92, Peleg 00].  The
+engine is used directly by the primitives whose behaviour is genuinely
+round-by-round (Linial color reduction, Luby/Ghaffari MIS, randomized list
+coloring trials); higher-level algorithms compose those primitives and
+charge ball-collection rounds on the shared :class:`RoundLedger`.
+
+The node program interface is deliberately tiny:
+
+* ``start(ctx)`` — called once before round 1; may inspect ``ctx`` (own id,
+  degree, ports) and set initial state.
+* ``message(ctx, round_index)`` — the message broadcast to all neighbours
+  this round (LOCAL algorithms in this paper never need port-specific
+  messages, broadcast is standard), or ``None`` to stay silent.
+* ``receive(ctx, round_index, inbox)`` — ``inbox`` maps neighbour id to the
+  message it sent.  Returns True when the node has halted.
+
+The engine stops when every node has halted or ``max_rounds`` is hit, and
+charges every executed round to the ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from repro.graphs.graph import Graph
+from repro.local.rounds import RoundLedger
+
+__all__ = ["NodeContext", "NodeProgram", "SyncNetwork"]
+
+
+@dataclass
+class NodeContext:
+    """Per-node view handed to the node program.
+
+    ``node`` is the unique identifier (LOCAL gives nodes O(log n)-bit ids;
+    we use the index).  ``state`` is free-form per-node storage owned by the
+    program.  ``halted`` is managed by the engine.
+    """
+
+    node: int
+    neighbors: list[int]
+    state: dict[str, Any] = field(default_factory=dict)
+    halted: bool = False
+
+    @property
+    def degree(self) -> int:
+        return len(self.neighbors)
+
+
+class NodeProgram(Protocol):
+    """Protocol for synchronous node programs (see module docstring)."""
+
+    def start(self, ctx: NodeContext) -> None:
+        ...
+
+    def message(self, ctx: NodeContext, round_index: int) -> Any:
+        ...
+
+    def receive(self, ctx: NodeContext, round_index: int, inbox: dict[int, Any]) -> bool:
+        ...
+
+
+class SyncNetwork:
+    """Synchronous executor of a :class:`NodeProgram` over a graph.
+
+    Parameters
+    ----------
+    graph:
+        Communication topology.
+    ledger:
+        Shared round ledger; every executed round charges 1.
+    active:
+        Optional subset of nodes participating (the paper constantly runs
+        subroutines on a remainder graph H or a single layer); inactive
+        nodes neither send nor receive, and messages to them are dropped —
+        equivalent to running on the induced subgraph.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        ledger: RoundLedger | None = None,
+        active: set[int] | None = None,
+    ):
+        self.graph = graph
+        self.ledger = ledger if ledger is not None else RoundLedger()
+        if active is None:
+            self.active = set(range(graph.n))
+        else:
+            self.active = set(active)
+        self.contexts: dict[int, NodeContext] = {}
+
+    def run(self, program: NodeProgram, max_rounds: int = 10_000) -> dict[int, NodeContext]:
+        """Execute ``program`` until all active nodes halt.
+
+        Returns the per-node contexts (whose ``state`` holds the outputs).
+        Raises ``RuntimeError`` if ``max_rounds`` is exceeded — node
+        programs in this package always halt, so hitting the cap indicates
+        a bug rather than an unlucky run.
+        """
+        active = self.active
+        self.contexts = {
+            v: NodeContext(node=v, neighbors=[u for u in self.graph.adj[v] if u in active])
+            for v in active
+        }
+        for ctx in self.contexts.values():
+            program.start(ctx)
+
+        round_index = 0
+        live = {v for v, ctx in self.contexts.items() if not ctx.halted}
+        while live:
+            round_index += 1
+            if round_index > max_rounds:
+                raise RuntimeError(
+                    f"node program {type(program).__name__} exceeded {max_rounds} rounds"
+                )
+            outbox: dict[int, Any] = {}
+            for v in live:
+                msg = program.message(self.contexts[v], round_index)
+                if msg is not None:
+                    outbox[v] = msg
+            newly_halted = []
+            for v in live:
+                ctx = self.contexts[v]
+                inbox = {u: outbox[u] for u in ctx.neighbors if u in outbox}
+                if program.receive(ctx, round_index, inbox):
+                    ctx.halted = True
+                    newly_halted.append(v)
+            for v in newly_halted:
+                live.discard(v)
+            self.ledger.charge(1)
+        return self.contexts
+
+    def states(self, key: str) -> dict[int, Any]:
+        """Extract ``state[key]`` from every context after a run."""
+        return {v: ctx.state.get(key) for v, ctx in self.contexts.items()}

@@ -1,0 +1,86 @@
+"""The SLOCAL model [Ghaffari–Kuhn–Maus, STOC'17] — Remark 17's setting.
+
+In SLOCAL(r), nodes are processed in an *adversarial sequential order*;
+when processed, a node reads its radius-r neighbourhood **including the
+outputs already written by previously processed nodes**, and commits its
+own output irrevocably.  The complexity measure is the locality radius r.
+
+The paper's Remark 17: the distributed Brooks' theorem (Theorem 5)
+implies an SLOCAL(O(log_Δ n)) algorithm for Δ-coloring — process nodes in
+any order; each new node extends the partial coloring, repairing within
+its O(log n)-ball via the token walk when stuck.  This module provides
+the generic simulator; :mod:`repro.core.slocal_coloring` builds that
+algorithm on top of it.
+
+The simulator tracks, per processed node, the radius actually *read* and
+the radius actually *written*; the maximum over nodes is the certified
+SLOCAL locality of the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.graphs.bfs import bfs_distances
+from repro.graphs.graph import Graph
+
+__all__ = ["SLocalRun", "SLocalSimulator"]
+
+
+@dataclass
+class SLocalRun:
+    """Certificate of one SLOCAL execution.
+
+    ``read_radius`` / ``write_radius`` are the maxima over processed
+    nodes; ``per_node_radius`` maps each node to the radius its step
+    touched (for the locality histograms in the SLOCAL tests).
+    """
+
+    order: list[int]
+    read_radius: int = 0
+    write_radius: int = 0
+    per_node_radius: dict[int, int] = field(default_factory=dict)
+
+
+class SLocalSimulator:
+    """Sequential-local executor over a shared output vector.
+
+    The step function receives ``(node, graph, outputs)`` and returns the
+    set of nodes whose outputs it wrote (itself included).  The simulator
+    verifies the write-set claim and records radii.  Reads are not
+    sandboxed (steps are trusted library code); the *write* radius is
+    measured exactly, and callers pass ``declared_read_radius`` per step
+    for the read side.
+    """
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+
+    def run(
+        self,
+        order: list[int],
+        step: Callable[[int, Graph, list[Any]], tuple[set[int], int]],
+        outputs: list[Any],
+    ) -> SLocalRun:
+        """Process ``order`` sequentially.
+
+        ``step`` returns ``(written_nodes, declared_read_radius)``.  The
+        write radius of a step is the maximum distance from the processed
+        node to any written node.
+        """
+        run = SLocalRun(order=list(order))
+        for v in order:
+            written, declared_read = step(v, self.graph, outputs)
+            if written:
+                dist = bfs_distances(self.graph, [v])
+                write_radius = max(
+                    (dist[u] for u in written if dist[u] != -1), default=0
+                )
+            else:
+                write_radius = 0
+            radius = max(write_radius, declared_read)
+            run.per_node_radius[v] = radius
+            run.read_radius = max(run.read_radius, declared_read)
+            run.write_radius = max(run.write_radius, write_radius)
+        return run

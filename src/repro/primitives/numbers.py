@@ -1,0 +1,57 @@
+"""Small number-theoretic helpers for Linial's color-reduction step.
+
+Linial's algorithm evaluates polynomials over GF(q) for a prime q; the
+primes involved are tiny (O(Δ log n)), so trial division is plenty.
+"""
+
+from __future__ import annotations
+
+__all__ = ["is_prime", "next_prime", "int_to_digits", "ilog_star"]
+
+
+def is_prime(x: int) -> bool:
+    """Primality by trial division (inputs here are O(Δ log n))."""
+    if x < 2:
+        return False
+    if x < 4:
+        return True
+    if x % 2 == 0:
+        return False
+    f = 3
+    while f * f <= x:
+        if x % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def next_prime(x: int) -> int:
+    """Smallest prime >= x."""
+    candidate = max(2, x)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def int_to_digits(value: int, base: int, length: int) -> list[int]:
+    """Base-``base`` digits of ``value``, least significant first, padded to
+    ``length`` digits.  These are the polynomial coefficients in Linial's
+    reduction (a color c < q^(d+1) becomes a degree-<=d polynomial)."""
+    digits = []
+    for _ in range(length):
+        digits.append(value % base)
+        value //= base
+    if value:
+        raise ValueError("value does not fit in the requested digit count")
+    return digits
+
+
+def ilog_star(x: float) -> int:
+    """Iterated logarithm log* (base 2); used only in benchmark reporting."""
+    count = 0
+    while x > 1.0:
+        import math
+
+        x = math.log2(x)
+        count += 1
+    return count

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import load_edge_list, main
+from repro.graphs.generators import random_regular_graph
+from repro.graphs.validation import validate_coloring
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    graph = random_regular_graph(60, 3, seed=4)
+    path = tmp_path / "edges.txt"
+    path.write_text(
+        "# a comment line\n"
+        + "\n".join(f"{u} {v}" for u, v in graph.edges())
+        + "\n"
+    )
+    return path, graph
+
+
+class TestLoadEdgeList:
+    def test_roundtrip(self, edge_file):
+        path, graph = edge_file
+        loaded, original_ids = load_edge_list(str(path))
+        assert loaded.n == graph.n
+        assert loaded.num_edges == graph.num_edges
+        assert original_ids == list(range(graph.n))
+
+    def test_arbitrary_ids_compacted(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("100 200\n200 300\n300 100\n")
+        graph, original_ids = load_edge_list(str(path))
+        assert graph.n == 3 and graph.num_edges == 3
+        assert original_ids == [100, 200, 300]
+
+    def test_duplicates_and_self_loops_dropped(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n1 0\n1 1\n1 2\n")
+        graph, _ = load_edge_list(str(path))
+        assert graph.num_edges == 2
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1 2\n")
+        with pytest.raises(SystemExit):
+            load_edge_list(str(path))
+
+
+class TestColorCommand:
+    def _read_colors(self, output_path, graph):
+        colors = [0] * graph.n
+        for line in output_path.read_text().splitlines():
+            node, color = map(int, line.split())
+            colors[node] = color
+        return colors
+
+    def test_auto(self, edge_file, tmp_path):
+        path, graph = edge_file
+        out = tmp_path / "colors.txt"
+        assert main(["color", str(path), "-o", str(out)]) == 0
+        colors = self._read_colors(out, graph)
+        validate_coloring(graph, colors, max_colors=3)
+
+    @pytest.mark.parametrize("algorithm", ["randomized", "deterministic", "ps"])
+    def test_explicit_algorithms(self, edge_file, tmp_path, algorithm):
+        path, graph = edge_file
+        out = tmp_path / "colors.txt"
+        assert main(["color", str(path), "--algorithm", algorithm, "-o", str(out)]) == 0
+        colors = self._read_colors(out, graph)
+        validate_coloring(graph, colors, max_colors=3)
+
+    def test_stdout_output(self, edge_file, capsys):
+        path, graph = edge_file
+        assert main(["color", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.splitlines()) == graph.n
+
+
+class TestInfoCommand:
+    def test_profile(self, edge_file, capsys):
+        path, _graph = edge_file
+        assert main(["info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "max degree Δ : 3" in out
+        assert "nice         : True" in out

@@ -1,0 +1,123 @@
+"""Tests for DCC detection and the virtual graph G_DCC (phases 1-2)."""
+
+import random
+
+import pytest
+
+from repro.core.dcc import detect_dccs, virtual_graph_ruling_set
+from repro.graphs.generators import (
+    complete_graph_minus_edge,
+    high_girth_regular_graph,
+    random_gallai_tree,
+    random_regular_graph,
+    torus_grid,
+)
+from repro.graphs.properties import is_degree_choosable_component
+from repro.local.rounds import RoundLedger
+
+
+class TestDetection:
+    def test_torus_every_node_selects(self):
+        g = torus_grid(8, 8)
+        detection = detect_dccs(g, radius=2)
+        assert all(detection.selected_by[v] != -1 for v in range(g.n))
+        for dcc in detection.dccs:
+            assert is_degree_choosable_component(g, dcc)
+
+    def test_high_girth_has_no_small_dccs(self, high_girth_cubic):
+        detection = detect_dccs(high_girth_cubic, radius=2)
+        assert detection.dccs == []
+        assert detection.nodes_in_dccs == set()
+
+    def test_gallai_tree_has_no_dccs_at_any_radius(self):
+        g = random_gallai_tree(12, seed=4)
+        detection = detect_dccs(g, radius=6)
+        assert detection.dccs == []
+
+    def test_k_minus_edge_detected(self):
+        g = complete_graph_minus_edge(6)
+        detection = detect_dccs(g, radius=2)
+        assert len(detection.dccs) == 1
+        assert set(detection.dccs[0]) == set(range(6))
+
+    def test_rounds_charged_equal_radius(self):
+        g = torus_grid(5, 5)
+        ledger = RoundLedger()
+        detection = detect_dccs(g, radius=3, ledger=ledger)
+        assert ledger.total_rounds == 3
+        assert detection.rounds == 3
+
+    def test_active_subset(self):
+        g = torus_grid(8, 8)
+        active = set(range(0, 32))  # four torus rows: still contains 4-cycles
+        detection = detect_dccs(g, radius=2, active=active)
+        for dcc in detection.dccs:
+            assert set(dcc) <= active
+
+    def test_random_regular_detects_only_cycle_neighborhoods(self):
+        g = random_regular_graph(400, 3, seed=8)
+        detection = detect_dccs(g, radius=2)
+        # locally tree-like: only a few nodes live on short cycles
+        assert len(detection.nodes_in_dccs) < g.n // 4
+        for dcc in detection.dccs:
+            assert is_degree_choosable_component(g, dcc)
+
+
+class TestVirtualRulingSet:
+    def _conflicts(self, graph, dccs, a, b):
+        set_a, set_b = set(dccs[a]), set(dccs[b])
+        if set_a & set_b:
+            return True
+        adj = graph.adjacency_sets()
+        return any(u in adj[v] for v in set_a for u in set_b)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_independence(self, seed):
+        g = torus_grid(8, 8)
+        detection = detect_dccs(g, radius=2)
+        chosen, _ = virtual_graph_ruling_set(
+            g, detection.dccs, rounds_per_virtual=5, rng=random.Random(seed)
+        )
+        for i, a in enumerate(chosen):
+            for b in chosen[i + 1:]:
+                assert not self._conflicts(g, detection.dccs, a, b)
+
+    def test_maximality_every_dcc_dominated(self):
+        g = torus_grid(8, 8)
+        detection = detect_dccs(g, radius=2)
+        chosen, _ = virtual_graph_ruling_set(
+            g, detection.dccs, rounds_per_virtual=5, rng=random.Random(1)
+        )
+        chosen_set = set(chosen)
+        for idx in range(len(detection.dccs)):
+            if idx in chosen_set:
+                continue
+            assert any(self._conflicts(g, detection.dccs, idx, c) for c in chosen_set)
+
+    def test_empty_input(self):
+        g = torus_grid(5, 5)
+        chosen, iterations = virtual_graph_ruling_set(g, [], rounds_per_virtual=3)
+        assert chosen == [] and iterations == 0
+
+    def test_rounds_charged(self):
+        g = torus_grid(6, 6)
+        detection = detect_dccs(g, radius=2)
+        ledger = RoundLedger()
+        _, iterations = virtual_graph_ruling_set(
+            g, detection.dccs, rounds_per_virtual=5, ledger=ledger, rng=random.Random(2)
+        )
+        assert ledger.total_rounds >= 2 * 5 * iterations
+
+    def test_iteration_cap_with_finisher_still_maximal(self):
+        g = torus_grid(10, 10)
+        detection = detect_dccs(g, radius=2)
+        chosen, _ = virtual_graph_ruling_set(
+            g, detection.dccs, rounds_per_virtual=5, rng=random.Random(3), max_iterations=1
+        )
+        chosen_set = set(chosen)
+        for i, a in enumerate(chosen):
+            for b in chosen[i + 1:]:
+                assert not self._conflicts(g, detection.dccs, a, b)
+        for idx in range(len(detection.dccs)):
+            if idx not in chosen_set:
+                assert any(self._conflicts(g, detection.dccs, idx, c) for c in chosen_set)

@@ -1,0 +1,90 @@
+"""Tests for small-component finishers (gathering + MPX clustering)."""
+
+import random
+
+import pytest
+
+from repro.graphs.bfs import bfs_distances
+from repro.graphs.generators import random_regular_graph, torus_grid
+from repro.graphs.validation import UNCOLORED, validate_coloring
+from repro.local.rounds import RoundLedger
+from repro.primitives.decomposition import (
+    gather_component_cost,
+    mpx_clustering,
+    solve_component_by_clustering,
+    solve_components_by_gathering,
+)
+
+
+class TestGathering:
+    def test_cost_formula(self):
+        g = torus_grid(5, 5)
+        component = list(range(g.n))
+        cost = gather_component_cost(g, component, set(component))
+        dist = bfs_distances(g, [0])
+        assert cost == 2 * max(dist) + 1
+
+    def test_solves_deg_plus_one_instance(self):
+        g = random_regular_graph(200, 4, seed=1)
+        colors = [UNCOLORED] * g.n
+        ledger = RoundLedger()
+        cost = solve_components_by_gathering(g, colors, [list(range(g.n))], 5, ledger)
+        validate_coloring(g, colors, max_colors=5)
+        assert ledger.total_rounds == cost
+
+    def test_parallel_components_charge_max(self):
+        g = torus_grid(6, 6)
+        colors = [UNCOLORED] * g.n
+        comp_a = list(range(0, 6))        # one torus row
+        comp_b = list(range(18, 24))
+        ledger = RoundLedger()
+        solve_components_by_gathering(g, colors, [comp_a, comp_b], 5, ledger)
+        cost_a = gather_component_cost(g, comp_a, set(comp_a))
+        assert ledger.total_rounds == cost_a  # equal-size rows: max == each
+
+
+class TestMPX:
+    @pytest.mark.parametrize("beta", [0.3, 0.6, 1.0])
+    def test_partition_properties(self, beta):
+        g = random_regular_graph(300, 4, seed=2)
+        members = set(range(g.n))
+        clustering = mpx_clustering(g, members, beta, random.Random(1))
+        assert set(clustering.cluster_of) == members
+        assert set(clustering.centers) == set(clustering.cluster_of.values())
+        # each center belongs to its own cluster
+        for center in clustering.centers:
+            assert clustering.cluster_of[center] == center
+
+    def test_clusters_are_connected(self):
+        g = random_regular_graph(200, 3, seed=3)
+        clustering = mpx_clustering(g, set(range(g.n)), 0.5, random.Random(2))
+        for center in clustering.centers:
+            members = {v for v, c in clustering.cluster_of.items() if c == center}
+            dist = bfs_distances(g, [center], allowed=members)
+            assert all(dist[v] != -1 for v in members)
+
+    def test_larger_beta_gives_smaller_radius(self):
+        g = random_regular_graph(400, 4, seed=4)
+        rng = random.Random(5)
+        loose = mpx_clustering(g, set(range(g.n)), 0.2, rng)
+        tight = mpx_clustering(g, set(range(g.n)), 1.5, random.Random(5))
+        assert tight.max_radius <= loose.max_radius + 2
+
+    def test_subset_clustering(self):
+        g = torus_grid(8, 8)
+        members = set(range(0, g.n, 2))
+        clustering = mpx_clustering(g, members, 0.5, random.Random(3))
+        assert set(clustering.cluster_of) == members
+
+
+class TestClusteringSolve:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_colors_component(self, seed):
+        g = random_regular_graph(200, 4, seed=seed + 10)
+        colors = [UNCOLORED] * g.n
+        ledger = RoundLedger()
+        rounds = solve_component_by_clustering(
+            g, colors, list(range(g.n)), 5, rng=random.Random(seed), ledger=ledger
+        )
+        validate_coloring(g, colors, max_colors=5)
+        assert ledger.total_rounds == rounds

@@ -1,0 +1,103 @@
+"""Tests for the structural expansion lemmas (Lemmas 10, 12, 14, 15).
+
+These are *measurements* of the lemmas' statements on the graph families
+they apply to; experiment E6 builds its tables from the same functions.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.expansion import (
+    bfs_tree_is_unique,
+    lemma12_bound,
+    lemma14_bound,
+    lemma15_bound,
+    measure_expansion,
+)
+from repro.core.marking import marking_process
+from repro.graphs.generators import (
+    high_girth_regular_graph,
+    random_regular_graph,
+    torus_grid,
+)
+from repro.graphs.validation import UNCOLORED
+from repro.local.rounds import RoundLedger
+
+
+class TestLemma10Uniqueness:
+    def test_high_girth_balls_have_unique_bfs_trees(self, high_girth_cubic):
+        g = high_girth_cubic
+        rng = random.Random(1)
+        for _ in range(20):
+            root = rng.randrange(g.n)
+            # girth >= 8 means no DCC of radius <= 3 around any node
+            assert bfs_tree_is_unique(g, root, radius=3)
+
+    def test_torus_violates_uniqueness(self):
+        # the torus has 4-cycles: two nodes at level 2 share a parent choice
+        g = torus_grid(8, 8)
+        assert not bfs_tree_is_unique(g, 0, radius=3)
+
+
+class TestLemma15:
+    """DCC-free Δ-regular balls satisfy |B_r| >= (Δ-1)^{r/2}."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_high_girth_cubic(self, seed):
+        g = high_girth_regular_graph(900, 3, girth=10, seed=seed)
+        sample = measure_expansion(g, radius=4, num_roots=25, rng=random.Random(seed))
+        assert sample.min_at_radius() >= lemma15_bound(3, 4)  # (Δ-1)^2 = 4
+
+    def test_high_girth_four_regular(self):
+        g = high_girth_regular_graph(800, 4, girth=7, seed=2)
+        sample = measure_expansion(g, radius=2, num_roots=25, rng=random.Random(2))
+        assert sample.min_at_radius() >= lemma15_bound(4, 2)  # 3
+
+
+class TestLemma12And14:
+    """Expansion survives the marking process on the unmarked graph."""
+
+    def test_unmarked_expansion_cubic(self):
+        g = high_girth_regular_graph(1500, 3, girth=10, seed=3)
+        colors = [UNCOLORED] * g.n
+        marking = marking_process(
+            g, set(range(g.n)), colors, 0.002, 12, random.Random(3), RoundLedger()
+        )
+        unmarked = {v for v in range(g.n) if v not in marking.marked}
+        sample = measure_expansion(
+            g, radius=6, num_roots=20, allowed=unmarked, rng=random.Random(3)
+        )
+        # Lemma 14 bound: 4^{r/6} = 4 at r=6; sampled roots should beat it
+        assert sample.min_at_radius() >= lemma14_bound(6)
+
+    def test_unmarked_expansion_four_regular(self):
+        g = high_girth_regular_graph(900, 4, girth=7, seed=4)
+        colors = [UNCOLORED] * g.n
+        marking = marking_process(
+            g, set(range(g.n)), colors, 0.002, 6, random.Random(4), RoundLedger()
+        )
+        unmarked = {v for v in range(g.n) if v not in marking.marked}
+        sample = measure_expansion(
+            g, radius=2, num_roots=20, allowed=unmarked, rng=random.Random(4)
+        )
+        assert sample.min_at_radius() >= lemma12_bound(4, 2)  # (Δ-2)^1 = 2
+
+
+class TestBounds:
+    def test_bound_values(self):
+        assert lemma15_bound(4, 4) == 9.0
+        assert lemma12_bound(4, 4) == 4.0
+        assert lemma14_bound(12) == 16.0
+
+    def test_measure_structure(self):
+        g = torus_grid(7, 7)
+        sample = measure_expansion(g, radius=3, num_roots=5, rng=random.Random(0))
+        assert len(sample.level_sizes) == 5
+        assert all(len(sizes) == 4 for sizes in sample.level_sizes)
+        assert sample.mean_at_radius() > 0
+
+    def test_empty_allowed_set(self):
+        g = torus_grid(5, 5)
+        sample = measure_expansion(g, radius=2, allowed=set(), rng=random.Random(0))
+        assert sample.level_sizes == []

@@ -1,0 +1,142 @@
+"""Generator tests, including hypothesis property tests on parameters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.generators import (
+    complete_graph,
+    complete_graph_minus_edge,
+    cycle_graph,
+    disjoint_union,
+    high_girth_regular_graph,
+    hypercube,
+    path_graph,
+    random_gallai_tree,
+    random_graph_with_max_degree,
+    random_nice_graph,
+    random_regular_graph,
+    random_tree,
+    torus_grid,
+)
+from repro.graphs.properties import girth_up_to, is_gallai_tree, is_nice
+
+
+class TestBasicFamilies:
+    def test_cycle(self):
+        g = cycle_graph(7)
+        assert g.n == 7 and g.num_edges == 7
+        assert all(g.degree(v) == 2 for v in range(7))
+
+    def test_cycle_rejects_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+
+    def test_complete_minus_edge(self):
+        g = complete_graph_minus_edge(6)
+        assert g.num_edges == 14
+        assert not g.has_edge(0, 1)
+        assert g.max_degree() == 5 and g.min_degree() == 4
+
+    def test_torus_regular(self):
+        g = torus_grid(5, 8)
+        assert all(g.degree(v) == 4 for v in range(g.n))
+        assert g.is_connected()
+
+    def test_torus_rejects_small(self):
+        with pytest.raises(GraphError):
+            torus_grid(2, 5)
+
+    def test_hypercube(self):
+        g = hypercube(4)
+        assert g.n == 16
+        assert all(g.degree(v) == 4 for v in range(16))
+        assert g.is_connected()
+
+
+class TestRandomRegular:
+    @given(
+        n=st.integers(min_value=10, max_value=120),
+        d=st.integers(min_value=2, max_value=7),
+        seed=st.integers(min_value=0, max_value=1 << 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_regularity_property(self, n, d, seed):
+        if (n * d) % 2 == 1:
+            n += 1
+        g = random_regular_graph(n, d, seed=seed)
+        assert g.n == n
+        assert all(g.degree(v) == d for v in range(n))
+        assert g.num_edges == n * d // 2
+
+    def test_rejects_odd_total(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(5, 3, seed=0)
+
+    def test_rejects_d_ge_n(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(4, 4, seed=0)
+
+    def test_deterministic_given_seed(self):
+        a = random_regular_graph(60, 3, seed=5)
+        b = random_regular_graph(60, 3, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = random_regular_graph(60, 3, seed=5)
+        b = random_regular_graph(60, 3, seed=6)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+
+class TestHighGirth:
+    @pytest.mark.parametrize("n,d,girth", [(300, 3, 7), (400, 3, 8), (300, 4, 6)])
+    def test_girth_reached(self, n, d, girth):
+        g = high_girth_regular_graph(n, d, girth, seed=3)
+        measured = girth_up_to(g, girth - 1)
+        assert measured is None
+        assert all(g.degree(v) == d for v in range(n))
+        assert g.is_connected()
+
+
+class TestIrregularAndTrees:
+    def test_max_degree_respected(self):
+        g = random_graph_with_max_degree(200, 5, target_avg_degree=3.5, seed=1)
+        assert g.max_degree() <= 5
+
+    def test_tree_is_acyclic_connected(self):
+        g = random_tree(50, seed=4)
+        assert g.num_edges == 49
+        assert g.is_connected()
+
+    def test_tree_degree_cap(self):
+        g = random_tree(60, seed=4, max_degree=3)
+        assert g.max_degree() <= 3
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_gallai_tree_property(self, seed):
+        g = random_gallai_tree(10, seed=seed)
+        assert is_gallai_tree(g)
+        assert g.is_connected()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_nice_graph(self, seed):
+        g = random_nice_graph(150, 4, seed=seed)
+        assert is_nice(g)
+        assert g.max_degree() == 4
+
+
+class TestDisjointUnion:
+    def test_union_counts(self):
+        g = disjoint_union([cycle_graph(3), cycle_graph(4)])
+        assert g.n == 7
+        assert g.num_edges == 7
+        assert len(g.connected_components()) == 2

@@ -1,0 +1,124 @@
+"""Tests for the marking process (phase 4)."""
+
+import random
+
+import pytest
+
+from repro.core.marking import (
+    MARK_COLOR,
+    default_selection_probability,
+    marking_process,
+)
+from repro.errors import AlgorithmContractError
+from repro.graphs.bfs import bfs_distances
+from repro.graphs.generators import high_girth_regular_graph, random_regular_graph
+from repro.graphs.validation import UNCOLORED
+from repro.local.rounds import RoundLedger
+
+
+def _run(graph, p=None, backoff=6, seed=0):
+    h_nodes = set(range(graph.n))
+    colors = [UNCOLORED] * graph.n
+    if p is None:
+        p = default_selection_probability(graph.max_degree(), backoff)
+    outcome = marking_process(
+        graph, h_nodes, colors, p, backoff, random.Random(seed), RoundLedger()
+    )
+    return outcome, colors
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_marks_colored_one_everything_else_uncolored(self, seed):
+        g = random_regular_graph(800, 4, seed=seed)
+        outcome, colors = _run(g, p=0.01, seed=seed)
+        for v in range(g.n):
+            if v in outcome.marked:
+                assert colors[v] == MARK_COLOR
+            else:
+                assert colors[v] == UNCOLORED
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_t_nodes_have_two_nonadjacent_marked_neighbors(self, seed):
+        g = random_regular_graph(800, 4, seed=seed)
+        outcome, colors = _run(g, p=0.01, seed=seed)
+        adj_sets = g.adjacency_sets()
+        for t, (u1, u2) in outcome.t_nodes.items():
+            assert u1 in adj_sets[t] and u2 in adj_sets[t]
+            assert u1 not in adj_sets[u2]
+            assert colors[u1] == MARK_COLOR and colors[u2] == MARK_COLOR
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_survivors_pairwise_far(self, seed):
+        backoff = 6
+        g = random_regular_graph(800, 3, seed=seed)
+        outcome, _ = _run(g, p=0.02, backoff=backoff, seed=seed)
+        survivors = sorted(outcome.t_nodes)
+        for v in survivors:
+            dist = bfs_distances(g, [v], max_depth=backoff)
+            for u in survivors:
+                if u != v:
+                    assert dist[u] == -1, f"T-nodes {v},{u} within backoff"
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_marks_of_distinct_t_nodes_not_adjacent(self, seed):
+        g = random_regular_graph(800, 4, seed=seed)
+        outcome, _ = _run(g, p=0.02, seed=seed)
+        adj_sets = g.adjacency_sets()
+        marks = list(outcome.t_nodes.items())
+        for i, (t1, pair1) in enumerate(marks):
+            for t2, pair2 in marks[i + 1:]:
+                for a in pair1:
+                    for b in pair2:
+                        assert a != b
+                        assert b not in adj_sets[a]
+
+    def test_marking_is_proper_coloring(self):
+        g = random_regular_graph(1000, 4, seed=9)
+        _outcome, colors = _run(g, p=0.02, seed=9)
+        from repro.graphs.validation import validate_coloring
+
+        validate_coloring(g, colors, allow_partial=True)
+
+
+class TestGuards:
+    def test_backoff_below_five_rejected(self):
+        g = random_regular_graph(50, 3, seed=1)
+        with pytest.raises(AlgorithmContractError, match="backoff"):
+            marking_process(g, set(range(g.n)), [UNCOLORED] * g.n, 0.1, 4)
+
+    def test_precolored_h_rejected(self):
+        g = random_regular_graph(50, 3, seed=1)
+        colors = [UNCOLORED] * g.n
+        colors[3] = 2
+        with pytest.raises(AlgorithmContractError, match="precondition"):
+            marking_process(g, set(range(g.n)), colors, 0.1, 6)
+
+    def test_rounds_charged(self):
+        g = random_regular_graph(100, 3, seed=2)
+        ledger = RoundLedger()
+        marking_process(g, set(range(g.n)), [UNCOLORED] * g.n, 0.05, 6, random.Random(1), ledger)
+        assert ledger.total_rounds == 6 + 2
+
+
+class TestSelectionProbability:
+    def test_decreases_with_backoff(self):
+        assert default_selection_probability(3, 8) < default_selection_probability(3, 5)
+
+    def test_decreases_with_delta(self):
+        assert default_selection_probability(8, 6) < default_selection_probability(3, 6)
+
+    def test_bounded(self):
+        for delta in (3, 5, 10, 50):
+            p = default_selection_probability(delta, 6)
+            assert 0 < p <= 0.25
+
+
+class TestStatistics:
+    def test_counters_consistent(self):
+        g = high_girth_regular_graph(600, 3, girth=8, seed=3)
+        outcome, _ = _run(g, seed=4)
+        assert outcome.initially_selected >= len(outcome.t_nodes)
+        assert outcome.backed_off + len(outcome.t_nodes) + outcome.no_pair_available \
+            == outcome.initially_selected
+        assert len(outcome.marked) == 2 * len(outcome.t_nodes)

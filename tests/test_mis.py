@@ -1,0 +1,134 @@
+"""Tests for MIS engines (Luby, Ghaffari, power graph, color classes)."""
+
+import random
+
+import pytest
+
+from repro.graphs.bfs import bfs_distances
+from repro.graphs.generators import (
+    cycle_graph,
+    random_regular_graph,
+    torus_grid,
+)
+from repro.local.rounds import RoundLedger
+from repro.primitives.linial import linial_coloring
+from repro.primitives.mis import (
+    ghaffari_mis,
+    greedy_mis_from_coloring,
+    luby_mis,
+    power_graph_mis,
+)
+
+
+def _assert_mis(graph, in_set, active=None):
+    active = set(range(graph.n)) if active is None else active
+    for u, v in graph.edges():
+        if u in active and v in active:
+            assert not (u in in_set and v in in_set), f"edge ({u},{v}) inside MIS"
+    for v in active:
+        assert v in in_set or any(
+            u in in_set for u in graph.adj[v] if u in active
+        ), f"node {v} uncovered"
+
+
+class TestLuby:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_valid_mis(self, seed):
+        g = random_regular_graph(200, 4, seed=seed)
+        result = luby_mis(g, RoundLedger(), random.Random(seed))
+        assert not result.undecided
+        _assert_mis(g, result.in_set)
+
+    def test_rounds_charged(self):
+        g = random_regular_graph(100, 3, seed=1)
+        ledger = RoundLedger()
+        result = luby_mis(g, ledger, random.Random(1))
+        assert ledger.total_rounds == 2 * result.iterations
+
+    def test_active_subset(self):
+        g = torus_grid(8, 8)
+        active = set(range(0, g.n, 2)) | set(range(1, g.n, 4))
+        result = luby_mis(g, active=set(active))
+        _assert_mis(g, result.in_set, active)
+
+    def test_iteration_cap_leaves_undecided(self):
+        g = random_regular_graph(400, 4, seed=3)
+        result = luby_mis(g, max_iterations=1, rng=random.Random(0))
+        # after a single iteration there are almost surely undecided nodes
+        assert result.iterations == 1
+        assert result.in_set
+        # undecided nodes have no neighbour in the set
+        for v in result.undecided:
+            assert v not in result.in_set
+            assert all(u not in result.in_set for u in g.adj[v])
+
+
+class TestGhaffari:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_valid_mis(self, seed):
+        g = random_regular_graph(200, 5, seed=seed)
+        result = ghaffari_mis(g, RoundLedger(), random.Random(seed))
+        assert not result.undecided
+        _assert_mis(g, result.in_set)
+
+    def test_empty_active(self):
+        g = cycle_graph(5)
+        result = ghaffari_mis(g, active=set())
+        assert result.in_set == set() and result.iterations == 0
+
+
+class TestPowerGraphMIS:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_distance_separation(self, k):
+        g = random_regular_graph(300, 3, seed=5)
+        result = power_graph_mis(g, k, rng=random.Random(2))
+        nodes = sorted(result.in_set)
+        for v in nodes:
+            dist = bfs_distances(g, [v], max_depth=k)
+            for u in nodes:
+                if u != v:
+                    assert dist[u] == -1, f"{v},{u} within {k}"
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_domination(self, k):
+        g = random_regular_graph(300, 3, seed=6)
+        result = power_graph_mis(g, k, rng=random.Random(3))
+        dist = bfs_distances(g, result.in_set, max_depth=k)
+        assert all(dist[v] != -1 for v in range(g.n))
+
+    def test_rounds_scale_with_k(self):
+        g = random_regular_graph(200, 3, seed=7)
+        ledger = RoundLedger()
+        result = power_graph_mis(g, 3, ledger, random.Random(1))
+        assert ledger.total_rounds >= 2 * 3 * result.iterations
+
+    def test_k_equals_one_delegates(self):
+        g = random_regular_graph(100, 3, seed=8)
+        result = power_graph_mis(g, 1, rng=random.Random(1))
+        _assert_mis(g, result.in_set)
+
+    def test_ghaffari_method(self):
+        g = random_regular_graph(200, 4, seed=9)
+        result = power_graph_mis(g, 2, rng=random.Random(4), method="ghaffari")
+        nodes = sorted(result.in_set)
+        for v in nodes:
+            dist = bfs_distances(g, [v], max_depth=2)
+            assert all(dist[u] == -1 for u in nodes if u != v)
+
+
+class TestGreedyFromColoring:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_valid_mis(self, seed):
+        g = random_regular_graph(150, 4, seed=seed)
+        linial = linial_coloring(g)
+        ledger = RoundLedger()
+        result = greedy_mis_from_coloring(g, linial.colors, linial.palette, ledger)
+        _assert_mis(g, result.in_set)
+        assert ledger.total_rounds == linial.palette
+
+    def test_respects_active(self):
+        g = torus_grid(6, 6)
+        linial = linial_coloring(g)
+        active = set(range(0, g.n, 3))
+        result = greedy_mis_from_coloring(g, linial.colors, linial.palette, active=active)
+        _assert_mis(g, result.in_set, active)

@@ -1,0 +1,74 @@
+"""Tests pinning the message-passing programs against the fast engines."""
+
+import pytest
+
+from repro.graphs.bfs import bfs_distances
+from repro.graphs.generators import random_regular_graph, torus_grid
+from repro.graphs.validation import validate_coloring
+from repro.local.network import SyncNetwork
+from repro.local.rounds import RoundLedger
+from repro.primitives.programs import LayerDiscoveryProgram, TrialColoringProgram
+
+
+class TestTrialColoringProgram:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_produces_valid_coloring(self, seed):
+        g = random_regular_graph(200, 4, seed=seed)
+        net = SyncNetwork(g, RoundLedger())
+        contexts = net.run(TrialColoringProgram(max_colors=5, seed=seed))
+        colors_map = TrialColoringProgram.extract(contexts)
+        colors = [colors_map[v] for v in range(g.n)]
+        validate_coloring(g, colors, max_colors=5)
+
+    def test_rounds_are_even(self):
+        g = random_regular_graph(100, 3, seed=1)
+        net = SyncNetwork(g, RoundLedger())
+        net.run(TrialColoringProgram(max_colors=4, seed=1))
+        assert net.ledger.total_rounds % 2 == 0
+
+    def test_converges_in_logarithmic_iterations(self):
+        g = random_regular_graph(400, 5, seed=2)
+        net = SyncNetwork(g, RoundLedger())
+        net.run(TrialColoringProgram(max_colors=6, seed=2))
+        # deg+1 trials converge in O(log n) iterations w.h.p.
+        assert net.ledger.total_rounds <= 2 * 40
+
+    def test_active_subset(self):
+        g = torus_grid(8, 8)
+        active = set(range(0, g.n, 2))
+        net = SyncNetwork(g, RoundLedger(), active=active)
+        contexts = net.run(TrialColoringProgram(max_colors=5, seed=3))
+        colors_map = TrialColoringProgram.extract(contexts)
+        assert set(colors_map) == active
+        for v in active:
+            for u in g.adj[v]:
+                if u in active:
+                    assert colors_map[v] != colors_map[u]
+
+
+class TestLayerDiscoveryProgram:
+    @pytest.mark.parametrize("base", [{0}, {0, 50}, {13, 14, 15}])
+    def test_matches_bfs_distances(self, base):
+        g = torus_grid(9, 9)
+        net = SyncNetwork(g, RoundLedger())
+        contexts = net.run(LayerDiscoveryProgram(base=base))
+        measured = LayerDiscoveryProgram.extract(contexts)
+        expected = bfs_distances(g, base)
+        for v in range(g.n):
+            assert measured[v] == expected[v]
+
+    def test_rounds_close_to_eccentricity(self):
+        g = torus_grid(9, 9)
+        net = SyncNetwork(g, RoundLedger())
+        net.run(LayerDiscoveryProgram(base={0}))
+        depth = max(bfs_distances(g, [0]))
+        # flood completes within depth + 2 engine rounds
+        assert net.ledger.total_rounds <= depth + 2
+
+    def test_random_regular(self):
+        g = random_regular_graph(300, 3, seed=4)
+        net = SyncNetwork(g, RoundLedger())
+        contexts = net.run(LayerDiscoveryProgram(base={0, 1, 2}))
+        measured = LayerDiscoveryProgram.extract(contexts)
+        expected = bfs_distances(g, {0, 1, 2})
+        assert all(measured[v] == expected[v] for v in range(g.n))

@@ -1,0 +1,60 @@
+"""Tests for coloring validation."""
+
+import pytest
+
+from repro.errors import ColoringError
+from repro.graphs.generators import complete_graph, cycle_graph
+from repro.graphs.validation import (
+    UNCOLORED,
+    count_colors,
+    uncolored_nodes,
+    validate_coloring,
+)
+
+
+class TestValidateColoring:
+    def test_accepts_proper(self):
+        validate_coloring(cycle_graph(4), [1, 2, 1, 2], max_colors=2)
+
+    def test_rejects_monochromatic_edge(self):
+        with pytest.raises(ColoringError, match="monochromatic"):
+            validate_coloring(cycle_graph(4), [1, 1, 2, 2])
+
+    def test_rejects_uncolored_by_default(self):
+        with pytest.raises(ColoringError, match="uncolored"):
+            validate_coloring(cycle_graph(4), [1, 2, 1, UNCOLORED])
+
+    def test_partial_allowed(self):
+        validate_coloring(cycle_graph(4), [1, 2, 1, UNCOLORED], allow_partial=True)
+
+    def test_partial_still_checks_conflicts(self):
+        with pytest.raises(ColoringError):
+            validate_coloring(cycle_graph(4), [1, 1, UNCOLORED, UNCOLORED], allow_partial=True)
+
+    def test_palette_bound(self):
+        with pytest.raises(ColoringError, match="out-of-palette"):
+            validate_coloring(complete_graph(3), [1, 2, 5], max_colors=3)
+
+    def test_negative_color_rejected(self):
+        with pytest.raises(ColoringError, match="out-of-palette"):
+            validate_coloring(complete_graph(3), [1, 2, -1])
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ColoringError, match="entries"):
+            validate_coloring(complete_graph(3), [1, 2])
+
+    def test_violations_collected(self):
+        try:
+            validate_coloring(cycle_graph(6), [1, 1, 1, 1, 1, 1])
+        except ColoringError as error:
+            assert len(error.violations) >= 2
+        else:
+            raise AssertionError("should have raised")
+
+
+class TestHelpers:
+    def test_count_colors(self):
+        assert count_colors([1, 2, 2, UNCOLORED, 3]) == 3
+
+    def test_uncolored_nodes(self):
+        assert uncolored_nodes([1, UNCOLORED, 2, UNCOLORED]) == [1, 3]
