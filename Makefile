@@ -1,0 +1,22 @@
+# Convenience entry points; everything runs with the src layout on PYTHONPATH.
+
+PY := PYTHONPATH=src python
+
+.PHONY: test bench-smoke bench-sweep bench-million
+
+test:
+	$(PY) -m pytest -x -q
+
+# CI rot check: every benchmarks/bench_e*.py at its single smallest size.
+bench-smoke:
+	$(PY) -m repro bench --smoke
+
+# Wall-clock scaling sweep via the harness (JSON lands in benchmarks/results/).
+bench-sweep:
+	$(PY) -m repro bench --sweep --sizes 2000,20000,250000 \
+		--json benchmarks/results/harness_sweep.json
+
+# The canonical million-edge demonstration: n=250k, Δ=8 → m=1e6.
+bench-million:
+	$(PY) -m repro bench --sweep --sizes 250000 --delta 8 --warmup 0 --repeats 1 \
+		--json benchmarks/results/harness_million.json

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import random
 
+import common
 from common import cached_high_girth, emit
 from repro.analysis.expansion import (
     lemma12_bound,
@@ -40,6 +41,8 @@ def build_table():
         (4, 1200, 7, 2, 6, lemma12_bound(4, 2), "L12 Δ=4 b=6"),
         (5, 900, 6, 2, 6, lemma12_bound(5, 2), "L12 Δ=5 b=6"),
     ]
+    if common.SMOKE:
+        cases = cases[1:2]  # one cheap case: Δ=4, n=1200, girth 7
     for delta, n, girth, radius, backoff, bound, label in cases:
         mins, means = [], []
         for seed in (0, 1):

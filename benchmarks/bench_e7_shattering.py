@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 import random
 
+import common
 from common import cached_high_girth, emit, sizes
 from repro.analysis.experiments import sweep
 from repro.core.happiness import build_happiness_layers
@@ -50,6 +51,8 @@ def build_table():
     # T-node density is ~1/(e·|B_b|): Δ=4 needs a larger graph and the
     # minimum backoff (5) to see more than a couple of T-nodes.
     configs = {3: (4096, 8, 6), 4: (8192, 7, 5)}
+    if common.SMOKE:
+        configs = {3: (1024, 8, 6), 4: (1024, 7, 5)}
 
     def run(point, seed):
         delta, r = point["delta"], point["r"]

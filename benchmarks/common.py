@@ -4,7 +4,10 @@ Every bench builds a :class:`repro.analysis.Table`, prints it, and writes
 it to ``benchmarks/results/<name>.txt`` so the tables survive pytest's
 output capture.  Set ``REPRO_BENCH_FULL=1`` for the larger sweeps recorded
 in EXPERIMENTS.md; the default quick mode keeps the whole suite within a
-few minutes.
+few minutes.  Set ``REPRO_BENCH_SMOKE=1`` (what ``make bench-smoke`` /
+``python -m repro bench --smoke`` do) to shrink every sweep to its single
+smallest point — a CI-speed pass whose only job is to catch benches
+rotting against the library API.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from repro.analysis.experiments import Table
 RESULTS_DIR = Path(__file__).parent / "results"
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
 
 
 def emit(table: Table, name: str) -> Table:
@@ -30,7 +34,9 @@ def emit(table: Table, name: str) -> Table:
 
 
 def sizes(quick: list[int], full: list[int]) -> list[int]:
-    """Pick the sweep sizes for the current mode."""
+    """Pick the sweep sizes for the current mode (smoke = one tiny point)."""
+    if SMOKE:
+        return quick[:1]
     return full if FULL else quick
 
 

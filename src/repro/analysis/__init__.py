@@ -1,6 +1,15 @@
-"""Analysis utilities: expansion measurements, experiment sweeps, statistics."""
+"""Analysis utilities: expansion measurements, experiment sweeps,
+wall-clock harness, statistics."""
 
 from repro.analysis.experiments import Row, Table, sweep
+from repro.analysis.harness import (
+    HarnessReport,
+    Measurement,
+    SweepPoint,
+    delta_coloring_sweep,
+    measure,
+    size_sweep,
+)
 from repro.analysis.expansion import (
     ExpansionSample,
     bfs_tree_is_unique,
@@ -15,6 +24,12 @@ __all__ = [
     "Row",
     "Table",
     "sweep",
+    "HarnessReport",
+    "Measurement",
+    "SweepPoint",
+    "measure",
+    "size_sweep",
+    "delta_coloring_sweep",
     "ExpansionSample",
     "measure_expansion",
     "bfs_tree_is_unique",

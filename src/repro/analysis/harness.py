@@ -1,0 +1,238 @@
+"""Scalable wall-clock benchmark harness: size sweeps, warmup, repetition,
+JSON output.
+
+The experiment tables in :mod:`repro.analysis.experiments` measure *round
+complexity* — the paper's own metric.  This module measures the other axis
+the ROADMAP cares about: **wall-clock throughput of the simulator itself**,
+so that performance work on the CSR graph core and the hot algorithm loops
+is demonstrated by numbers, not claimed.  Design:
+
+* :func:`measure` — run one thunk with warmup and repetition, reporting
+  best/mean/stdev seconds (best-of-N is the standard noise-resistant
+  summary for CPU-bound benchmarks).
+* :func:`size_sweep` — run a ``setup → run`` pair across instance sizes;
+  ``setup`` (graph generation) is excluded from the timed region.
+* :class:`HarnessReport` — collects sweeps plus environment metadata and
+  serialises to JSON (``benchmarks/results/*.json``) so regressions can be
+  diffed mechanically between commits.
+* :func:`delta_coloring_sweep` — the canonical scaling workload: generate
+  a random Δ-regular graph at each size and Δ-color it end-to-end.  This
+  is what ``python -m repro bench --sweep`` drives, up to and beyond the
+  million-edge instances the CSR core was built for.
+
+The harness is dependency-free (``time.perf_counter`` + ``json``) and
+deliberately decoupled from pytest-benchmark: CI smoke runs and ad-hoc
+scaling measurements should not need a test runner.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import sys
+import time
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "Measurement",
+    "SweepPoint",
+    "HarnessReport",
+    "measure",
+    "size_sweep",
+    "delta_coloring_sweep",
+]
+
+
+@dataclass
+class Measurement:
+    """Timing summary of one measured case."""
+
+    label: str
+    repeats: int
+    best_s: float
+    mean_s: float
+    stdev_s: float
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        out = {
+            "label": self.label,
+            "repeats": self.repeats,
+            "best_s": round(self.best_s, 6),
+            "mean_s": round(self.mean_s, 6),
+            "stdev_s": round(self.stdev_s, 6),
+        }
+        if self.meta:
+            out["meta"] = self.meta
+        return out
+
+
+@dataclass
+class SweepPoint:
+    """One size point of a sweep: the parameters plus its measurement."""
+
+    params: dict[str, Any]
+    measurement: Measurement
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"params": self.params, **self.measurement.as_dict()}
+
+
+def measure(
+    fn: Callable[[], Any],
+    label: str = "case",
+    warmup: int = 1,
+    repeats: int = 3,
+    meta_from_result: Callable[[Any], dict[str, Any]] | None = None,
+) -> Measurement:
+    """Time ``fn`` with ``warmup`` discarded runs and ``repeats`` kept runs.
+
+    ``meta_from_result`` may extract result metadata (rounds, palette, ...)
+    from the final run's return value into ``Measurement.meta``.
+    """
+    if warmup < 0 or repeats < 1:
+        raise ValueError("need warmup >= 0 and repeats >= 1")
+    for _ in range(warmup):
+        fn()
+    samples: list[float] = []
+    result: Any = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - t0)
+    mean = sum(samples) / len(samples)
+    var = sum((s - mean) ** 2 for s in samples) / len(samples)
+    meta = meta_from_result(result) if meta_from_result is not None else {}
+    return Measurement(
+        label=label,
+        repeats=repeats,
+        best_s=min(samples),
+        mean_s=mean,
+        stdev_s=math.sqrt(var),
+        meta=meta,
+    )
+
+
+def size_sweep(
+    points: Iterable[dict[str, Any]],
+    setup: Callable[[dict[str, Any]], Any],
+    run: Callable[[Any], Any],
+    warmup: int = 1,
+    repeats: int = 3,
+    label: Callable[[dict[str, Any]], str] | None = None,
+    meta_from_result: Callable[[Any], dict[str, Any]] | None = None,
+) -> list[SweepPoint]:
+    """Measure ``run(setup(point))`` for every parameter point.
+
+    ``setup`` output (typically a generated graph) is built once per point
+    and excluded from the timed region; ``run`` is what warmup/repetition
+    time.
+    """
+    results: list[SweepPoint] = []
+    for point in points:
+        fixture = setup(point)
+        name = label(point) if label is not None else str(point)
+        measurement = measure(
+            lambda: run(fixture),
+            label=name,
+            warmup=warmup,
+            repeats=repeats,
+            meta_from_result=meta_from_result,
+        )
+        results.append(SweepPoint(params=dict(point), measurement=measurement))
+    return results
+
+
+@dataclass
+class HarnessReport:
+    """A named collection of sweep results with environment metadata."""
+
+    name: str
+    sweeps: dict[str, list[SweepPoint]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, sweep_name: str, points: list[SweepPoint]) -> None:
+        self.sweeps[sweep_name] = points
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "notes": list(self.notes),
+            "sweeps": {
+                key: [p.as_dict() for p in points]
+                for key, points in self.sweeps.items()
+            },
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        """Serialise to ``path`` (parent directories created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.as_dict(), indent=2) + "\n")
+        return path
+
+    def render(self) -> str:
+        """Fixed-width text summary (one line per sweep point)."""
+        lines = [f"== harness: {self.name} =="]
+        for sweep_name, points in self.sweeps.items():
+            lines.append(f"-- {sweep_name}")
+            for p in points:
+                meta = (
+                    " ".join(f"{k}={v}" for k, v in p.measurement.meta.items())
+                    if p.measurement.meta
+                    else ""
+                )
+                lines.append(
+                    f"   {p.measurement.label:<28} best {p.measurement.best_s:8.3f}s  "
+                    f"mean {p.measurement.mean_s:8.3f}s ±{p.measurement.stdev_s:.3f}  {meta}"
+                )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def delta_coloring_sweep(
+    sizes: Sequence[int],
+    delta: int = 8,
+    seed: int = 0,
+    warmup: int = 1,
+    repeats: int = 3,
+    validate: bool = True,
+) -> list[SweepPoint]:
+    """End-to-end Δ-coloring wall-clock sweep on random Δ-regular graphs.
+
+    ``sizes`` are node counts; edges per instance are ``n·Δ/2`` (so a
+    250_000-node Δ=8 instance is the canonical million-edge run).  Graph
+    generation is excluded from the timed region; validation is part of the
+    pipeline under test (it is unconditional in production use).
+    """
+    from repro.core.randomized import delta_coloring_large_delta
+    from repro.graphs.generators import random_regular_graph
+
+    def setup(point: dict[str, Any]):
+        return random_regular_graph(point["n"], delta, seed=seed)
+
+    def run(graph):
+        result = delta_coloring_large_delta(graph, seed=seed)
+        if validate:
+            from repro.graphs.validation import validate_coloring
+
+            validate_coloring(graph, result.colors, max_colors=delta)
+        return result
+
+    return size_sweep(
+        [{"n": n, "delta": delta, "m": n * delta // 2} for n in sizes],
+        setup,
+        run,
+        warmup=warmup,
+        repeats=repeats,
+        label=lambda p: f"n={p['n']} Δ={p['delta']} m={p['m']}",
+        meta_from_result=lambda r: {"rounds": r.rounds},
+    )

@@ -10,12 +10,19 @@ Gives downstream users a zero-code path to the library:
 * ``demo`` — run one of the bundled example scenarios.
 * ``info`` — parse a graph and print its structural profile (Δ, girth
   probe, niceness, Gallai-tree status, component count).
+* ``bench`` — wall-clock measurement via :mod:`repro.analysis.harness`:
+  ``--smoke`` runs every ``benchmarks/bench_e*.py`` at its tiniest size
+  (the CI rot check behind ``make bench-smoke``), ``--sweep`` times
+  end-to-end Δ-coloring across instance sizes with warmup/repetition and
+  optional JSON output.
 
 Examples::
 
     python -m repro color edges.txt
     python -m repro color edges.txt --algorithm deterministic -o colors.txt
     python -m repro info edges.txt
+    python -m repro bench --smoke
+    python -m repro bench --sweep --sizes 2000,20000,250000 --json out.json
 """
 
 from __future__ import annotations
@@ -110,6 +117,88 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if not args.smoke and not args.sweep:
+        print("bench: pass --smoke and/or --sweep", file=sys.stderr)
+        return 2
+    status = 0
+    if args.smoke:
+        status = _bench_smoke()
+    if args.sweep and status == 0:
+        status = _bench_sweep(args)
+    return status
+
+
+def _bench_smoke() -> int:
+    """Import every ``benchmarks/bench_e*.py`` and run its ``build_*``
+    functions at smoke size; any exception fails the run."""
+    import importlib
+    import os
+    import time
+    import traceback
+
+    os.environ["REPRO_BENCH_SMOKE"] = "1"
+    bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+    if not bench_dir.is_dir():
+        print(f"bench: no benchmarks directory at {bench_dir}", file=sys.stderr)
+        return 2
+    sys.path.insert(0, str(bench_dir))
+    failures = 0
+    for path in sorted(bench_dir.glob("bench_e*.py")):
+        module_name = path.stem
+        started = time.perf_counter()
+        try:
+            module = importlib.import_module(module_name)
+            builders = [
+                fn
+                for name in sorted(dir(module))
+                if name.startswith("build_")
+                and callable(fn := getattr(module, name))
+                and getattr(fn, "__module__", None) == module.__name__
+            ]
+            if not builders:
+                raise RuntimeError("no build_* functions found")
+            for builder in builders:
+                builder()
+            elapsed = time.perf_counter() - started
+            print(f"smoke {module_name:<28} ok    {elapsed:6.1f}s ({len(builders)} tables)")
+        except Exception:
+            failures += 1
+            elapsed = time.perf_counter() - started
+            print(f"smoke {module_name:<28} FAIL  {elapsed:6.1f}s")
+            traceback.print_exc()
+    if failures:
+        print(f"bench --smoke: {failures} bench module(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _bench_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.harness import HarnessReport, delta_coloring_sweep
+
+    try:
+        sweep_sizes = [int(s) for s in args.sizes.split(",") if s]
+    except ValueError:
+        print(f"bench: bad --sizes {args.sizes!r}", file=sys.stderr)
+        return 2
+    report = HarnessReport(name="delta-coloring-wall-clock")
+    report.add(
+        f"delta_coloring_large_delta Δ={args.delta}",
+        delta_coloring_sweep(
+            sweep_sizes,
+            delta=args.delta,
+            seed=args.seed,
+            warmup=args.warmup,
+            repeats=args.repeats,
+        ),
+    )
+    print(report.render())
+    if args.json:
+        written = report.write_json(args.json)
+        print(f"wrote {written}")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     import importlib
 
@@ -141,6 +230,29 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="structural profile of a graph")
     info.add_argument("edges")
     info.set_defaults(func=_cmd_info)
+
+    bench = sub.add_parser("bench", help="wall-clock benchmarks (harness)")
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run every benchmarks/bench_e*.py at its tiniest size (CI rot check)",
+    )
+    bench.add_argument(
+        "--sweep",
+        action="store_true",
+        help="time end-to-end Δ-coloring across --sizes with warmup/repeats",
+    )
+    bench.add_argument(
+        "--sizes",
+        default="2000,20000",
+        help="comma-separated node counts for --sweep (default 2000,20000)",
+    )
+    bench.add_argument("--delta", type=int, default=8, help="degree for --sweep graphs")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--warmup", type=int, default=1)
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--json", help="write the sweep report to this JSON path")
+    bench.set_defaults(func=_cmd_bench)
 
     demo = sub.add_parser("demo", help="run a bundled example")
     demo.add_argument(

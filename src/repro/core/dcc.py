@@ -14,7 +14,11 @@ the ball so its radius around v is <= 2r.  Conversely any DCC of radius
 <= r/2 around v lies inside the ball and forces the block containing it to
 be a DCC, so detection at radius r is complete for DCCs of radius <= r/2.
 A ball that induces a tree (the overwhelmingly common case in the
-locally-tree-like workloads) is skipped without a block decomposition.
+locally-tree-like workloads) is skipped without a block decomposition; the
+tree test counts in-ball edges through a reusable byte mask over the CSR
+adjacency, so no induced subgraph is materialised unless the ball actually
+contains a cycle.  This per-node loop is the single hottest path of the
+randomized pipeline — see the "Performance notes" section of ROADMAP.md.
 
 **Virtual MIS** — the ruling set of G_DCC is computed by Luby/Ghaffari
 rounds *simulated through member nodes*: each live DCC draws a priority,
@@ -27,10 +31,11 @@ round costs O(r) real rounds, as the paper states.
 from __future__ import annotations
 
 import random
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.graphs.bfs import bfs_ball
-from repro.graphs.blocks import biconnected_components
+from repro.graphs.blocks import blocks_through
 from repro.graphs.graph import Graph
 from repro.graphs.properties import is_clique_nodes, is_odd_cycle_nodes
 from repro.local.rounds import RoundLedger
@@ -54,6 +59,65 @@ class DCCDetection:
     rounds: int = 0
 
 
+def _vectorized_ball_blocks(graph: Graph, radius: int):
+    """Blockwise vectorized ball structure for DCC detection (or ``None``).
+
+    Yields ``(start, deg_indptr, deg_indices, deg_data, skip)`` tuples
+    covering node ranges ``[start, start+len(skip))``:
+
+    * ``deg_indices[deg_indptr[i]:deg_indptr[i+1]]`` — the radius-``r``
+      ball members of node ``start+i`` (rows of ``((A+I)^r A) ∘ (A+I)^r``;
+      every ball member has an in-ball neighbour, so the product pattern
+      *is* the ball), with ``deg_data`` holding each member's degree
+      inside the ball — the 2-core peeling input;
+    * ``skip[i]`` — True iff the ball is too small (< 4 nodes) or induces a
+      tree (``Σ deg < 2·|ball|``), the cheap-reject conditions.
+
+    Everything is sparse-matrix arithmetic in C — the Python detection loop
+    only reads rows for the non-skipped minority.  Returns ``None`` when
+    scipy is unavailable or the graph is tiny (the caller then falls back
+    to the per-ball counting pass).
+    """
+    if graph.n < 256 or graph.num_edges == 0:
+        return None
+    try:
+        import numpy as np
+        from scipy import sparse
+    except Exception:  # pragma: no cover - scipy-free environments
+        return None
+    offsets, indices = graph.csr()
+    n = graph.n
+    indptr = np.frombuffer(offsets, dtype=np.int32)
+    idx = np.frombuffer(indices, dtype=np.int32)
+    adjacency = sparse.csr_matrix(
+        (np.ones(len(idx), dtype=np.int32), idx, indptr), shape=(n, n)
+    )
+    # Block the rows so the intermediates stay bounded (~Δ^{r+1} nonzeros
+    # per row) even on million-edge inputs.
+    delta = max(1, graph.max_degree())
+    per_row = min(n, delta ** (radius + 1) + 1)
+    step = max(1024, min(n, 4_000_000 // per_row))
+    identity = sparse.identity(n, dtype=np.int32, format="csr")
+
+    def blocks():
+        for start in range(0, n, step):
+            rows = slice(start, min(n, start + step))
+            reach = adjacency[rows] + identity[rows]
+            reach.data[:] = 1
+            for _ in range(radius - 1):
+                reach = reach @ adjacency + reach
+                reach.data[:] = 1
+            # No sort_indices anywhere: member order is irrelevant (the
+            # peel is order-free and blocks_through sorts its own roots).
+            in_ball = (reach @ adjacency).multiply(reach).tocsr()
+            twice_edges = np.asarray(in_ball.sum(axis=1)).ravel()
+            ball_sizes = np.diff(reach.indptr)
+            skip = (ball_sizes < 4) | (twice_edges < 2 * ball_sizes)
+            yield (start, in_ball.indptr, in_ball.indices, in_ball.data, skip)
+
+    return blocks()
+
+
 def detect_dccs(
     graph: Graph,
     radius: int,
@@ -69,45 +133,173 @@ def detect_dccs(
     vertex are adjacent" semantics with fewer virtual nodes.
     """
     ledger = ledger if ledger is not None else RoundLedger()
-    active_set = set(range(graph.n)) if active is None else set(active)
     ledger.charge(radius)
     detection = DCCDetection(selected_by=[-1] * graph.n, rounds=radius)
-    index_of: dict[tuple[int, ...], int] = {}
-    for v in sorted(active_set):
-        if detection.selected_by[v] != -1:
+    state = _DetectState(graph, detection)
+    if active is None:
+        vectorized = _vectorized_ball_blocks(graph, radius)
+        if vectorized is not None:
+            selected_by = state.selected_by
+            for start, d_ptr, d_idx, d_data, skip in vectorized:
+                d_ptr = d_ptr.tolist()
+                d_idx = d_idx.tolist()
+                d_data = d_data.tolist()
+                for i, skipped in enumerate(skip.tolist()):
+                    v = start + i
+                    if skipped or selected_by[v] != -1:
+                        continue
+                    lo, hi = d_ptr[i], d_ptr[i + 1]
+                    _select_from_core(state, v, d_idx[lo:hi], d_data[lo:hi])
+            return detection
+        nodes: Iterable[int] = range(graph.n)
+        allowed = None
+    else:
+        nodes = sorted(set(active))
+        allowed = set(active)
+    # Pure-Python fallback: per-node ball collection and counting.
+    adj = graph.adj
+    selected_by = state.selected_by
+    for v in nodes:
+        if selected_by[v] != -1:
             continue
-        ball = bfs_ball(graph, v, radius, allowed=active_set)
+        if allowed is None:
+            # Specialised ball collection: frontier expansion with the
+            # reusable byte mask (no dict/deque), visiting nodes in the
+            # same level order as bfs_ball.
+            mask = state.mask
+            mask[v] = 1
+            ball = [v]
+            frontier = [v]
+            for _ in range(radius):
+                nxt = []
+                for u in frontier:
+                    for w in adj[u]:
+                        if not mask[w]:
+                            mask[w] = 1
+                            nxt.append(w)
+                ball.extend(nxt)
+                frontier = nxt
+        else:
+            ball = bfs_ball(graph, v, radius, allowed=allowed)
+            mask = state.mask
+            for u in ball:
+                mask[u] = 1
         if len(ball) < 4:
+            for u in ball:
+                mask[u] = 0
             continue
-        sub, originals = graph.subgraph(ball)
-        if sub.num_edges < sub.n:
-            continue  # the ball is a tree: no 2-connected subgraph at all
-        decomposition = biconnected_components(sub)
-        local_index = originals.index(v) if v in originals else -1
-        chosen: tuple[int, ...] | None = None
-        for block_id in decomposition.blocks_of_node[local_index]:
-            block = decomposition.blocks[block_id]
-            if len(block) < 4:
-                continue
-            if is_clique_nodes(sub, block) or is_odd_cycle_nodes(sub, block):
-                continue
-            chosen = tuple(sorted(originals[i] for i in block))
-            break
-        if chosen is None:
-            continue
-        dcc_id = index_of.get(chosen)
-        if dcc_id is None:
-            dcc_id = len(detection.dccs)
-            detection.dccs.append(chosen)
-            index_of[chosen] = dcc_id
-        # Every member of the block that has not selected yet adopts it;
-        # this matches "each node selects one such subgraph" while keeping
-        # the virtual graph small.
-        for u in chosen:
-            if detection.selected_by[u] == -1:
-                detection.selected_by[u] = dcc_id
-            detection.nodes_in_dccs.add(u)
+        # Acyclicity test on the ball: count in-ball edge endpoints (and
+        # record per-node in-ball degrees for the 2-core peel); a tree has
+        # < len(ball) edges and cannot host a 2-connected subgraph.
+        twice_edges = 0
+        degs = []
+        for u in ball:
+            d = 0
+            for w in adj[u]:
+                if mask[w]:
+                    d += 1
+            degs.append(d)
+            twice_edges += d
+        for u in ball:
+            mask[u] = 0
+        if twice_edges < 2 * len(ball):
+            continue  # the ball is a tree: no 2-connected subgraph
+        _select_from_core(state, v, ball, degs)
     return detection
+
+
+class _DetectState:
+    """Shared scratch of one detection sweep (masks, dedup, adoption)."""
+
+    __slots__ = ("graph", "detection", "selected_by", "mask", "scratch", "index_of")
+
+    def __init__(self, graph: Graph, detection: DCCDetection):
+        self.graph = graph
+        self.detection = detection
+        self.selected_by = detection.selected_by
+        self.mask = bytearray(graph.n)
+        self.scratch = ([0] * graph.n, [0] * graph.n)
+        self.index_of: dict[tuple[int, ...], int] = {}
+
+
+def _select_from_core(
+    state: _DetectState, v: int, members: list[int], degrees: list[int]
+) -> None:
+    """Peel ``members`` (with in-ball ``degrees``) to the 2-core and let
+    ``v`` select its first qualifying block there.
+
+    Every 2-connected block lives inside the 2-core of the ball, so peeling
+    degree-<=1 nodes first shrinks the Hopcroft–Tarjan walk from the whole
+    ball (~Δ^{r+1} nodes) to the usually-tiny cycle-carrying core; ``v``
+    being peeled proves no block contains it.  The set of qualifying blocks
+    is exactly the full-ball set, and the vectorized and pure-Python paths
+    agree (both feed this function); when a node lies in *several*
+    qualifying blocks, the discovery order — hence which valid DCC it
+    selects — can differ from the pre-peel implementation, whose DFS also
+    walked the peeled pendant trees.  Any qualifying block is a correct
+    selection per the paper's phase (1).
+    """
+    graph = state.graph
+    adj = graph.adj
+    mask = state.mask
+    deg = state.scratch[0]  # shares the blocks_through disc scratch (zeroed)
+    stack = []
+    for pos, u in enumerate(members):
+        mask[u] = 1
+        d = degrees[pos]
+        deg[u] = d
+        if d <= 1:
+            stack.append(u)
+    alive = len(members)
+    while stack:
+        u = stack.pop()
+        if not mask[u]:
+            continue
+        mask[u] = 0
+        alive -= 1
+        for w in adj[u]:
+            if mask[w]:
+                dw = deg[w] - 1
+                deg[w] = dw
+                if dw == 1:
+                    stack.append(w)
+    if alive < 4 or not mask[v]:
+        for u in members:
+            mask[u] = 0
+            deg[u] = 0
+        return
+    core = [u for u in members if mask[u]]
+    for u in members:
+        deg[u] = 0
+    chosen: tuple[int, ...] | None = None
+    # Blocks through v inside the core, in original labels; membership
+    # edges of a node-induced subgraph coincide with G's edges, so the
+    # clique / odd-cycle classification uses G's cached adjacency sets.
+    for block in blocks_through(graph, v, core, mask=mask, scratch=state.scratch):
+        if len(block) < 4:
+            continue
+        if is_clique_nodes(graph, block) or is_odd_cycle_nodes(graph, block):
+            continue
+        chosen = tuple(block)
+        break
+    for u in core:
+        mask[u] = 0
+    if chosen is None:
+        return
+    detection = state.detection
+    dcc_id = state.index_of.get(chosen)
+    if dcc_id is None:
+        dcc_id = len(detection.dccs)
+        detection.dccs.append(chosen)
+        state.index_of[chosen] = dcc_id
+    # Every member of the block that has not selected yet adopts it; this
+    # matches "each node selects one such subgraph" while keeping the
+    # virtual graph small.
+    selected_by = state.selected_by
+    for u in chosen:
+        if selected_by[u] == -1:
+            selected_by[u] = dcc_id
+        detection.nodes_in_dccs.add(u)
 
 
 def virtual_graph_ruling_set(
@@ -136,21 +328,33 @@ def virtual_graph_ruling_set(
     num = len(dccs)
     if num == 0:
         return [], 0
-    membership: dict[int, list[int]] = {}
+    # owners_of[v]: DCC indices containing v (almost always 0 or 1 entries;
+    # the flat list avoids dict probes in the edge scan below).
+    owners_of: list[list[int] | None] = [None] * graph.n
     for idx, dcc in enumerate(dccs):
         for v in dcc:
-            membership.setdefault(v, []).append(idx)
+            cell = owners_of[v]
+            if cell is None:
+                owners_of[v] = [idx]
+            else:
+                cell.append(idx)
     # Conflict adjacency between DCC indices (share node or G-edge).
     conflicts: list[set[int]] = [set() for _ in range(num)]
-    for v, owners in membership.items():
+    adj = graph.adj
+    for v, owners in enumerate(owners_of):
+        if owners is None:
+            continue
         for i, a in enumerate(owners):
             for b in owners[i + 1:]:
                 conflicts[a].add(b)
                 conflicts[b].add(a)
-    adj = graph.adj
-    for v, owners in membership.items():
         for u in adj[v]:
-            for b in membership.get(u, ()):
+            if u < v:
+                continue  # each edge contributes once; conflicts are symmetric
+            others = owners_of[u]
+            if others is None:
+                continue
+            for b in others:
                 for a in owners:
                     if a != b:
                         conflicts[a].add(b)

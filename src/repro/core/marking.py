@@ -89,14 +89,18 @@ def marking_process(
     ledger.charge(backoff + 2)
     outcome.rounds = backoff + 2
 
+    h_mask = bytearray(graph.n)
+    for v in h_nodes:
+        h_mask[v] = 1
     selected = {v for v in h_nodes if rng.random() < p}
     outcome.initially_selected = len(selected)
-    survivors = _without_close_pairs(graph, selected, backoff, h_nodes)
+    survivors = _without_close_pairs(graph, selected, backoff, h_mask)
     outcome.backed_off = len(selected) - len(survivors)
 
+    adj = graph.adj
     adj_sets = graph.adjacency_sets()
     for v in sorted(survivors):
-        neighbors = [u for u in graph.adj[v] if u in h_nodes]
+        neighbors = [u for u in adj[v] if h_mask[u]]
         pair = _random_non_adjacent_pair(neighbors, adj_sets, rng)
         if pair is None:
             outcome.no_pair_available += 1
@@ -111,7 +115,7 @@ def marking_process(
 
 
 def _without_close_pairs(
-    graph: Graph, selected: set[int], backoff: int, allowed: set[int]
+    graph: Graph, selected: set[int], backoff: int, allowed: bytearray
 ) -> set[int]:
     """Selected nodes with no other selected node within ``backoff`` hops
     (distance measured inside H): the mutual-unselection rule.
@@ -120,16 +124,19 @@ def _without_close_pairs(
     node tracks the two closest selected nodes with *distinct* identities;
     a selected node survives iff its second-closest selected node (the
     closest one is itself, at distance 0) is farther than ``backoff``.
+    ``allowed`` is a byte mask of the remainder graph H (mask probes are
+    the inner-loop operation of the flood).
     """
     if not selected:
         return set()
+    adj = graph.adj
     # labels[v] = up to two (dist, source) pairs with distinct sources.
     labels: dict[int, list[tuple[int, int]]] = {v: [(0, v)] for v in selected}
     for _ in range(backoff):
         updates: dict[int, list[tuple[int, int]]] = {}
         for v, pairs in labels.items():
-            for u in graph.adj[v]:
-                if u not in allowed:
+            for u in adj[v]:
+                if not allowed[u]:
                     continue
                 incoming = [(d + 1, s) for d, s in pairs]
                 if incoming:

@@ -322,11 +322,12 @@ def _color_base_component(
 ) -> None:
     """Phase (9): color one base-layer DCC by degree-choosability."""
     sub, originals = graph.subgraph(sorted(block))
+    adj = graph.adj
     lists = []
     for u in originals:
         taken = {
             colors[w]
-            for w in graph.adj[u]
+            for w in adj[u]
             if colors[w] != UNCOLORED and w not in block
         }
         lists.append({c for c in range(1, max_colors + 1) if c not in taken})

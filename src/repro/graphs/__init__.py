@@ -18,7 +18,12 @@ from repro.graphs.bfs import (
     distance_layers,
     eccentricity,
 )
-from repro.graphs.blocks import BlockDecomposition, biconnected_components, cut_vertices
+from repro.graphs.blocks import (
+    BlockDecomposition,
+    biconnected_components,
+    blocks_through,
+    cut_vertices,
+)
 from repro.graphs.generators import (
     complete_graph,
     complete_graph_minus_edge,
@@ -33,7 +38,7 @@ from repro.graphs.generators import (
     random_tree,
     torus_grid,
 )
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, GraphBuilder, SubgraphView
 from repro.graphs.properties import (
     assert_nice,
     girth_up_to,
@@ -50,8 +55,11 @@ from repro.graphs.validation import UNCOLORED, count_colors, uncolored_nodes, va
 
 __all__ = [
     "Graph",
+    "GraphBuilder",
+    "SubgraphView",
     "BlockDecomposition",
     "biconnected_components",
+    "blocks_through",
     "cut_vertices",
     "bfs_ball",
     "bfs_distances",

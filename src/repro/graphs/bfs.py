@@ -9,7 +9,11 @@ on radius-``r`` balls, and the expansion measurements of Lemmas 12/14/15
 All functions take an optional ``allowed`` predicate/set restricting the
 traversal to a node subset — the paper constantly BFS-es inside a remainder
 graph ``H`` or along *uncolored* paths, and filtering during traversal is
-much cheaper than materialising induced subgraphs.
+much cheaper than materialising induced subgraphs.  ``allowed`` may be a
+set, a predicate, a ``bytearray``/bool-sequence mask (e.g. the ``mask`` of
+:class:`repro.graphs.graph.SubgraphView`), or ``None``; the ``None`` case
+takes a specialised loop with no per-visit predicate call, which matters in
+the per-node ball collection of DCC detection.
 """
 
 from __future__ import annotations
@@ -59,14 +63,29 @@ def bfs_distances(
     ``max_depth`` or unreachable.  Sources that are not ``allowed`` are
     skipped; traversal never enters disallowed nodes.
     """
-    ok = _normalize_allowed(graph, allowed)
     dist = [UNREACHED] * graph.n
     queue: deque[int] = deque()
+    adj = graph.adj
+    if allowed is None:
+        for s in sources:
+            if dist[s] == UNREACHED:
+                dist[s] = 0
+                queue.append(s)
+        while queue:
+            u = queue.popleft()
+            du = dist[u]
+            if max_depth is not None and du >= max_depth:
+                continue
+            for v in adj[u]:
+                if dist[v] == UNREACHED:
+                    dist[v] = du + 1
+                    queue.append(v)
+        return dist
+    ok = _normalize_allowed(graph, allowed)
     for s in sources:
         if dist[s] == UNREACHED and ok(s):
             dist[s] = 0
             queue.append(s)
-    adj = graph.adj
     while queue:
         u = queue.popleft()
         du = dist[u]
@@ -90,12 +109,25 @@ def bfs_ball(
     This is the LOCAL-model "collect your radius-r neighbourhood" primitive;
     callers charge ``radius`` rounds for it on the ledger.
     """
+    adj = graph.adj
+    if allowed is None:
+        dist = {center: 0}
+        queue: deque[int] = deque([center])
+        while queue:
+            u = queue.popleft()
+            du = dist[u]
+            if du >= radius:
+                continue
+            for v in adj[u]:
+                if v not in dist:
+                    dist[v] = du + 1
+                    queue.append(v)
+        return list(dist)
     ok = _normalize_allowed(graph, allowed)
     if not ok(center):
         return []
     dist = {center: 0}
-    queue: deque[int] = deque([center])
-    adj = graph.adj
+    queue = deque([center])
     while queue:
         u = queue.popleft()
         du = dist[u]

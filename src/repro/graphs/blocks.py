@@ -15,9 +15,17 @@ recursion limit).
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 from repro.graphs.graph import Graph
 
-__all__ = ["biconnected_components", "cut_vertices", "block_cut_forest", "BlockDecomposition"]
+__all__ = [
+    "biconnected_components",
+    "blocks_through",
+    "cut_vertices",
+    "block_cut_forest",
+    "BlockDecomposition",
+]
 
 
 class BlockDecomposition:
@@ -65,26 +73,27 @@ def biconnected_components(graph: Graph) -> BlockDecomposition:
     for root in range(n):
         if disc[root]:
             continue
-        # Each stack frame: (vertex, parent, iterator index into adj[vertex]).
-        stack: list[list[int]] = [[root, -1, 0]]
+        # Each stack frame: [vertex, parent, neighbour iterator,
+        # tree-edge-to-parent not yet skipped].  Simple graphs store the
+        # parent exactly once per row, so a boolean suffices to skip the
+        # tree edge exactly once.
+        stack: list[list] = [[root, -1, iter(adj[root]), False]]
         disc[root] = low[root] = timer
         timer += 1
         root_children = 0
         while stack:
             frame = stack[-1]
-            u, parent, i = frame
-            if i < len(adj[u]):
-                frame[2] += 1
-                v = adj[u][i]
-                if v == parent and i == _first_parent_slot(adj[u], parent, i):
-                    # Skip exactly one occurrence of the tree edge back to the
-                    # parent (simple graphs: there is exactly one).
+            u, parent = frame[0], frame[1]
+            v = next(frame[2], -1)
+            if v >= 0:
+                if v == parent and not frame[3]:
+                    frame[3] = True
                     continue
                 if not disc[v]:
                     edge_stack.append((u, v))
                     disc[v] = low[v] = timer
                     timer += 1
-                    stack.append([v, u, 0])
+                    stack.append([v, u, iter(adj[v]), False])
                     if u == root:
                         root_children += 1
                 elif disc[v] < disc[u]:
@@ -120,13 +129,98 @@ def biconnected_components(graph: Graph) -> BlockDecomposition:
     return BlockDecomposition(blocks, cuts, n)
 
 
-def _first_parent_slot(neighbors: list[int], parent: int, current: int) -> int:
-    """Index of the first occurrence of ``parent`` in ``neighbors``.
+def blocks_through(
+    graph: Graph,
+    node: int,
+    members: list[int],
+    mask: bytearray | None = None,
+    scratch: tuple[list[int], list[int]] | None = None,
+) -> list[list[int]]:
+    """Blocks of the subgraph induced by ``members`` that contain ``node``.
 
-    Simple graphs store each neighbour once, so this exists and the DFS
-    skips the tree edge exactly once.
+    Runs Hopcroft–Tarjan directly on the original labels, restricted to the
+    member set — no induced subgraph is materialised.  This is the DCC
+    detection fast path: each detecting node only needs the blocks *through
+    itself* inside its ball.  Blocks are returned in the same discovery
+    order that :func:`biconnected_components` would produce on the
+    relabeled induced subgraph rooted at ``min(members)`` (relabeling by
+    ascending original id preserves DFS order), so callers iterating "the
+    first acceptable block" behave identically on either path.
+
+    ``members`` need not induce a connected subgraph: roots are taken in
+    ascending member order, exactly like the relabeled decomposition.
+    Tight-loop callers pass ``mask`` (a length-n ``bytearray`` with exactly
+    the member bits set) and ``scratch`` (two length-n zeroed int lists,
+    used for discovery/low-link times); both are restored to their zeroed
+    state for the member entries before returning, so one allocation
+    serves every ball of a detection sweep.
     """
-    return neighbors.index(parent)
+    n = graph.n
+    if mask is None:
+        mask = bytearray(n)
+        for v in members:
+            mask[v] = 1
+    if scratch is None:
+        disc: list[int] = [0] * n
+        low: list[int] = [0] * n
+    else:
+        disc, low = scratch
+    adj = graph.adj
+    timer = 1
+    found: list[list[int]] = []
+    edge_stack: list[tuple[int, int]] = []
+    for root in sorted(members):
+        if disc[root]:
+            continue
+        stack: list[list] = [[root, -1, iter(adj[root]), False]]
+        disc[root] = low[root] = timer
+        timer += 1
+        while stack:
+            frame = stack[-1]
+            u, parent = frame[0], frame[1]
+            v = next(frame[2], -1)
+            if v >= 0:
+                if not mask[v]:
+                    continue
+                if v == parent and not frame[3]:
+                    frame[3] = True
+                    continue
+                dv = disc[v]
+                if not dv:
+                    edge_stack.append((u, v))
+                    disc[v] = low[v] = timer
+                    timer += 1
+                    stack.append([v, u, iter(adj[v]), False])
+                elif dv < disc[u]:
+                    edge_stack.append((u, v))
+                    if dv < low[u]:
+                        low[u] = dv
+            else:
+                stack.pop()
+                if parent != -1:
+                    if low[u] < low[parent]:
+                        low[parent] = low[u]
+                    if low[u] >= disc[parent]:
+                        block_nodes: set[int] = set()
+                        du = disc[u]
+                        while edge_stack:
+                            a, b = edge_stack[-1]
+                            if disc[a] >= du:
+                                edge_stack.pop()
+                                block_nodes.add(a)
+                                block_nodes.add(b)
+                            else:
+                                break
+                        if edge_stack and edge_stack[-1] == (parent, u):
+                            edge_stack.pop()
+                        block_nodes.add(parent)
+                        block_nodes.add(u)
+                        if node in block_nodes:
+                            found.append(sorted(block_nodes))
+    for v in members:
+        disc[v] = 0
+        low[v] = 0
+    return found
 
 
 def cut_vertices(graph: Graph) -> set[int]:

@@ -25,7 +25,7 @@ from __future__ import annotations
 import random
 
 from repro.errors import GraphError
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, GraphBuilder
 
 __all__ = [
     "cycle_graph",
@@ -88,7 +88,7 @@ def torus_grid(rows: int, cols: int) -> Graph:
             for w in (right, down):
                 if v != w:
                     edges.add((min(v, w), max(v, w)))
-    return Graph(n, sorted(edges))
+    return Graph.from_edges_unchecked(n, sorted(edges))
 
 
 def hypercube(dim: int) -> Graph:
@@ -97,7 +97,7 @@ def hypercube(dim: int) -> Graph:
         raise GraphError("hypercube needs dim >= 1")
     n = 1 << dim
     edges = [(v, v ^ (1 << b)) for v in range(n) for b in range(dim) if v < v ^ (1 << b)]
-    return Graph(n, edges)
+    return Graph.from_edges_unchecked(n, edges)
 
 
 def random_regular_graph(n: int, d: int, seed: int = 0, max_restarts: int = 200) -> Graph:
@@ -120,7 +120,7 @@ def random_regular_graph(n: int, d: int, seed: int = 0, max_restarts: int = 200)
     for _ in range(max_restarts):
         edges = _configuration_model_attempt(n, d, rng)
         if edges is not None:
-            return Graph(n, edges)
+            return Graph.from_edges_unchecked(n, edges)
     # Dense/small cases where stub pairing keeps colliding: start from a
     # circulant d-regular graph and randomize with double edge swaps.
     return _circulant_with_swaps(n, d, rng)
@@ -152,7 +152,7 @@ def _circulant_with_swaps(n: int, d: int, rng: random.Random) -> Graph:
         edges.add(a)
         edges.add(b)
         edge_list[i], edge_list[j] = a, b
-    return Graph(n, sorted(edges))
+    return Graph.from_edges_unchecked(n, sorted(edges))
 
 
 def _configuration_model_attempt(
@@ -168,14 +168,15 @@ def _configuration_model_attempt(
     for _ in range(repair_rounds):
         good: list[tuple[int, int]] = []
         bad_stubs: list[int] = []
-        seen: set[tuple[int, int]] = set()
+        # Packed-int edge keys: no tuple allocation/hashing in the scan.
+        seen: set[int] = set()
         for u, v in pairs:
-            key = (u, v) if u < v else (v, u)
+            key = (u << 32) | v if u < v else (v << 32) | u
             if u == v or key in seen:
                 bad_stubs.extend((u, v))
             else:
                 seen.add(key)
-                good.append(key)
+                good.append((u, v) if u < v else (v, u))
         if not bad_stubs:
             return good
         if len(bad_stubs) > max(4, n // 2):
@@ -231,7 +232,7 @@ def high_girth_regular_graph(
             ]
             new_edges.append((min(u, x), max(u, x)))
             new_edges.append((min(v, y), max(v, y)))
-            candidate = Graph(n, new_edges)
+            candidate = Graph.from_edges_unchecked(n, new_edges)
             if candidate.is_connected():
                 graph = candidate
                 break
@@ -315,7 +316,7 @@ def random_graph_with_max_degree(
         edges.add(key)
         degrees[u] += 1
         degrees[v] += 1
-    return Graph(n, sorted(edges))
+    return Graph.from_edges_unchecked(n, sorted(edges))
 
 
 def random_tree(n: int, seed: int = 0, max_degree: int | None = None) -> Graph:
@@ -324,16 +325,16 @@ def random_tree(n: int, seed: int = 0, max_degree: int | None = None) -> Graph:
         raise GraphError("need n >= 1")
     rng = random.Random(seed)
     degrees = [0] * n
-    edges = []
+    builder = GraphBuilder(n)
     for v in range(1, n):
         while True:
             u = rng.randrange(v)
             if max_degree is None or degrees[u] < max_degree - (1 if v < n - 1 else 0):
                 break
-        edges.append((u, v))
+        builder.add_edge(u, v)
         degrees[u] += 1
         degrees[v] += 1
-    return Graph(n, edges)
+    return builder.build()
 
 
 def random_gallai_tree(
@@ -369,7 +370,7 @@ def random_gallai_tree(
         fresh = [v for v in members if v != attach]
         next_node += len(fresh)
         all_nodes.extend(fresh)
-    return Graph(next_node, sorted({(min(u, v), max(u, v)) for u, v in edges}))
+    return Graph.from_edges_unchecked(next_node, sorted({(min(u, v), max(u, v)) for u, v in edges}))
 
 
 def random_nice_graph(n: int, delta: int, seed: int = 0) -> Graph:
@@ -418,14 +419,17 @@ def _connect_components(graph: Graph, max_degree: int, rng: random.Random) -> Gr
         if not candidates:
             return None
         previous = rng.choice(candidates)
-    return Graph(graph.n, edges)
+    return Graph.from_edges_unchecked(graph.n, edges)
 
 
 def disjoint_union(graphs: list[Graph]) -> Graph:
     """Disjoint union with consecutive relabeling."""
+    builder = GraphBuilder()
     offset = 0
-    edges: list[tuple[int, int]] = []
     for graph in graphs:
-        edges.extend((u + offset, v + offset) for u, v in graph.edges())
+        for u, v in graph.edges():
+            builder.add_edge(u + offset, v + offset)
         offset += graph.n
-    return Graph(offset, edges)
+        if offset:
+            builder.ensure_node(offset - 1)
+    return builder.build()

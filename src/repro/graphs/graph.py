@@ -4,20 +4,47 @@ The paper works with simple undirected graphs ``G = (V, E)`` where ``V`` is
 identified with ``{0, .., n-1}``; the node index doubles as the unique
 identifier that LOCAL-model algorithms may use for symmetry breaking.
 
-The representation is a plain adjacency list (``list[list[int]]``) with an
-optional lazily-built set view for O(1) edge queries.  This is deliberately
-minimal and fast: the whole reproduction simulates synchronous rounds over
-graphs with up to a few hundred thousand edges in pure Python, so every
-hot-path operation here avoids object overhead.
+The representation is a flat **compressed-sparse-row (CSR)** pair: one
+``array('i')`` of neighbour indices plus one ``array('i')`` of per-node
+offsets into it (``offsets[v] .. offsets[v+1]`` delimits the neighbours of
+``v``).  Compared to the list-of-lists layout this package started with,
+CSR keeps the whole adjacency structure in two contiguous native-int
+buffers, which
+
+* makes construction a pair of counting passes (no per-edge set hashing),
+* gives O(1) ``degree`` / ``num_edges`` / cached ``max_degree``,
+* shrinks memory by roughly an order of magnitude (two machine ints per
+  directed edge instead of a PyObject pointer per neighbour plus per-node
+  list headers), which is what lets million-edge instances fit and
+  traverse quickly in pure Python, and
+* lets :meth:`subgraph` build induced instances through an unchecked
+  internal fast path (the remainder-graph / per-layer pattern of the
+  paper's algorithms builds thousands of small subgraphs per run).
+
+Compatibility: ``Graph.adj`` is still a list-of-lists — it is materialised
+lazily from the CSR buffers on first access and cached, so existing call
+sites (and tight loops that bind ``adj = graph.adj`` once) keep working at
+full speed while code that never touches ``adj`` never pays for it.
+Neighbour order is exactly the classic insertion order (for each input
+edge ``(u, v)``: ``v`` is appended to ``u``'s row and ``u`` to ``v``'s), so
+seeded algorithms behave identically to the historical representation.
+
+Three scaling helpers are new: :meth:`Graph.neighbors_csr` (zero-copy
+memoryview of a neighbour row), :meth:`Graph.subgraph_view`
+(allocation-free masked view for "run on the remainder graph H" call
+sites), and :class:`GraphBuilder` (incremental construction for
+generators, with optional deduplication).
 """
 
 from __future__ import annotations
 
+from array import array
+from collections import Counter
 from collections.abc import Iterable, Iterator, Sequence
 
 from repro.errors import GraphError
 
-__all__ = ["Graph"]
+__all__ = ["Graph", "GraphBuilder", "SubgraphView"]
 
 
 class Graph:
@@ -34,41 +61,122 @@ class Graph:
     Notes
     -----
     Instances are treated as immutable after construction; all algorithms
-    derive new graphs via :meth:`subgraph` instead of mutating.
+    derive new graphs via :meth:`subgraph` instead of mutating.  The
+    ``adj`` attribute is a cached read-only view — do not mutate the lists
+    it hands out.
     """
 
-    __slots__ = ("n", "adj", "_adj_sets", "_num_edges")
+    __slots__ = (
+        "n",
+        "_offsets",
+        "_indices",
+        "_num_edges",
+        "_adj",
+        "_adj_sets",
+        "_max_degree",
+        "_min_degree",
+    )
 
     def __init__(self, n: int, edges: Iterable[tuple[int, int]] = ()):
         if n < 0:
             raise GraphError(f"node count must be non-negative, got {n}")
         self.n = n
-        self.adj: list[list[int]] = [[] for _ in range(n)]
-        self._adj_sets: list[set[int]] | None = None
-        seen: set[tuple[int, int]] = set()
-        count = 0
-        for u, v in edges:
+        edge_list = edges if isinstance(edges, (list, tuple)) else list(edges)
+        # Pass 1: validate endpoints and count degrees.
+        offsets = array("i", bytes(4 * (n + 1)))
+        for u, v in edge_list:
             if not (0 <= u < n and 0 <= v < n):
                 raise GraphError(f"edge ({u}, {v}) out of range for n={n}")
             if u == v:
                 raise GraphError(f"self-loop at node {u} is not allowed")
-            key = (u, v) if u < v else (v, u)
-            if key in seen:
-                raise GraphError(f"duplicate edge ({u}, {v})")
-            seen.add(key)
-            self.adj[u].append(v)
-            self.adj[v].append(u)
-            count += 1
-        self._num_edges = count
+            offsets[u + 1] += 1
+            offsets[v + 1] += 1
+        total = 0
+        for i in range(1, n + 1):
+            total += offsets[i]
+            offsets[i] = total
+        # Pass 2: fill neighbour rows in insertion order.
+        indices = array("i", bytes(4 * total))
+        cursor = array("i", offsets[:n])
+        for u, v in edge_list:
+            indices[cursor[u]] = v
+            cursor[u] += 1
+            indices[cursor[v]] = u
+            cursor[v] += 1
+        # Pass 3: duplicate detection by neighbour stamping (O(n + m), no
+        # tuple-set hashing; ``stamp[w] == u + 1`` iff w was already seen in
+        # u's row).
+        stamp = array("i", bytes(4 * n))
+        for u in range(n):
+            mark = u + 1
+            for w in indices[offsets[u] : offsets[u + 1]]:
+                if stamp[w] == mark:
+                    raise GraphError(f"duplicate edge ({u}, {w})")
+                stamp[w] = mark
+        self._offsets = offsets
+        self._indices = indices
+        self._num_edges = len(edge_list)
+        self._adj: list[list[int]] | None = None
+        self._adj_sets: list[set[int]] | None = None
+        self._max_degree: int | None = None
+        self._min_degree: int | None = None
+
+    @classmethod
+    def _from_csr(cls, n: int, offsets: array, indices: array, num_edges: int) -> "Graph":
+        """Internal trusted constructor: adopt prebuilt CSR buffers.
+
+        Callers guarantee simplicity (no loops/duplicates) and symmetry;
+        used by :meth:`subgraph` and :class:`GraphBuilder` to skip the
+        validation passes.
+        """
+        graph = cls.__new__(cls)
+        graph.n = n
+        graph._offsets = offsets
+        graph._indices = indices
+        graph._num_edges = num_edges
+        graph._adj = None
+        graph._adj_sets = None
+        graph._max_degree = None
+        graph._min_degree = None
+        return graph
 
     # -- factory helpers -------------------------------------------------
+
+    @classmethod
+    def from_edges_unchecked(cls, n: int, edges: Iterable[tuple[int, int]]) -> "Graph":
+        """Build from an edge list that is *known* to be simple and in range.
+
+        Skips the validation passes of ``Graph(n, edges)`` (endpoint
+        checks, self-loop and duplicate detection) — two counting passes
+        and nothing else.  For generator-internal use where simplicity
+        holds by construction; untrusted input must go through the normal
+        constructor.
+        """
+        edge_list = edges if isinstance(edges, (list, tuple)) else list(edges)
+        offsets = array("i", bytes(4 * (n + 1)))
+        for u, v in edge_list:
+            offsets[u + 1] += 1
+            offsets[v + 1] += 1
+        total = 0
+        for i in range(1, n + 1):
+            total += offsets[i]
+            offsets[i] = total
+        indices = array("i", bytes(4 * total))
+        cursor = array("i", offsets[:n])
+        for u, v in edge_list:
+            indices[cursor[u]] = v
+            cursor[u] += 1
+            indices[cursor[v]] = u
+            cursor[v] += 1
+        return cls._from_csr(n, offsets, indices, len(edge_list))
 
     @classmethod
     def from_adjacency(cls, adj: Sequence[Sequence[int]]) -> "Graph":
         """Build a graph from an adjacency-list structure.
 
         The adjacency lists must be symmetric (``v in adj[u]`` iff
-        ``u in adj[v]``); this is validated.
+        ``u in adj[v]``); this is validated in a single counting pass
+        (historically this was an O(deg²) per-node ``sorted`` comparison).
         """
         n = len(adj)
         edges = []
@@ -77,12 +185,27 @@ class Graph:
                 if u < v:
                     edges.append((u, v))
         graph = cls(n, edges)
+        # The constructor consumed only the u < v half; symmetry holds iff
+        # each input row is (as a multiset) exactly the reconstructed row.
         for u in range(n):
-            if sorted(graph.adj[u]) != sorted(adj[u]):
+            if len(adj[u]) != graph.degree(u) or Counter(adj[u]) != Counter(
+                graph.neighbors(u)
+            ):
                 raise GraphError(f"adjacency list of node {u} is not symmetric")
         return graph
 
     # -- basic queries ----------------------------------------------------
+
+    @property
+    def adj(self) -> list[list[int]]:
+        """Adjacency lists, materialised lazily from CSR and cached."""
+        cached = self._adj
+        if cached is None:
+            offsets = self._offsets
+            flat = self._indices.tolist()
+            cached = [flat[offsets[v] : offsets[v + 1]] for v in range(self.n)]
+            self._adj = cached
+        return cached
 
     @property
     def num_edges(self) -> int:
@@ -90,28 +213,42 @@ class Graph:
         return self._num_edges
 
     def degree(self, v: int) -> int:
-        """Degree of node ``v``."""
-        return len(self.adj[v])
+        """Degree of node ``v`` (O(1) from the CSR offsets)."""
+        return self._offsets[v + 1] - self._offsets[v]
 
     def degrees(self) -> list[int]:
         """List of all node degrees, indexed by node."""
-        return [len(nbrs) for nbrs in self.adj]
+        offsets = self._offsets
+        return [offsets[v + 1] - offsets[v] for v in range(self.n)]
 
     def max_degree(self) -> int:
-        """Maximum degree Δ of the graph (0 for the empty graph)."""
-        if self.n == 0:
-            return 0
-        return max(len(nbrs) for nbrs in self.adj)
+        """Maximum degree Δ of the graph (0 for the empty graph); cached."""
+        if self._max_degree is None:
+            self._max_degree = max(self.degrees(), default=0)
+        return self._max_degree
 
     def min_degree(self) -> int:
-        """Minimum degree of the graph (0 for the empty graph)."""
-        if self.n == 0:
-            return 0
-        return min(len(nbrs) for nbrs in self.adj)
+        """Minimum degree of the graph (0 for the empty graph); cached."""
+        if self._min_degree is None:
+            self._min_degree = min(self.degrees(), default=0)
+        return self._min_degree
 
     def neighbors(self, v: int) -> list[int]:
         """The adjacency list of ``v`` (do not mutate)."""
         return self.adj[v]
+
+    def neighbors_csr(self, v: int) -> memoryview:
+        """Zero-copy view of ``v``'s neighbour row in the CSR buffer.
+
+        Iterating the memoryview yields plain ints; use this in code that
+        touches a few rows of a large graph without wanting the full
+        ``adj`` materialisation.
+        """
+        return memoryview(self._indices)[self._offsets[v] : self._offsets[v + 1]]
+
+    def csr(self) -> tuple[array, array]:
+        """The raw ``(offsets, indices)`` CSR buffers (read-only by contract)."""
+        return self._offsets, self._indices
 
     def adjacency_sets(self) -> list[set[int]]:
         """Set-of-neighbors view, built lazily and cached."""
@@ -138,19 +275,20 @@ class Graph:
 
     def connected_components(self) -> list[list[int]]:
         """Connected components as lists of nodes (each sorted ascending)."""
-        seen = [False] * self.n
+        adj = self.adj
+        seen = bytearray(self.n)
         components: list[list[int]] = []
         for start in range(self.n):
             if seen[start]:
                 continue
-            seen[start] = True
+            seen[start] = 1
             stack = [start]
             component = [start]
             while stack:
                 u = stack.pop()
-                for v in self.adj[u]:
+                for v in adj[u]:
                     if not seen[v]:
-                        seen[v] = True
+                        seen[v] = 1
                         stack.append(v)
                         component.append(v)
             component.sort()
@@ -173,6 +311,7 @@ class Graph:
         remaining = [v for v in range(self.n) if v not in removed]
         if len(remaining) <= 1:
             return True
+        adj = self.adj
         seen = set(removed)
         start = remaining[0]
         seen.add(start)
@@ -180,7 +319,7 @@ class Graph:
         reached = 1
         while stack:
             u = stack.pop()
-            for v in self.adj[u]:
+            for v in adj[u]:
                 if v not in seen:
                     seen.add(v)
                     stack.append(v)
@@ -194,17 +333,45 @@ class Graph:
 
         Returns ``(H, originals)`` where ``H`` is the induced subgraph with
         nodes relabeled ``0..k-1`` and ``originals[i]`` is the original index
-        of ``H``'s node ``i``.
+        of ``H``'s node ``i``.  Built through the unchecked CSR fast path:
+        the induced rows of a simple graph are simple, so no validation
+        passes run.
         """
         originals = sorted(set(nodes))
+        k = len(originals)
         index = {v: i for i, v in enumerate(originals)}
-        edges = []
-        for i, v in enumerate(originals):
-            for w in self.adj[v]:
-                j = index.get(w)
-                if j is not None and i < j:
-                    edges.append((i, j))
-        return Graph(len(originals), edges), originals
+        adj = self.adj
+        rows: list[list[int]] = []
+        total = 0
+        for v in originals:
+            row = [index[w] for w in adj[v] if w in index]
+            total += len(row)
+            rows.append(row)
+        offsets = array("i", bytes(4 * (k + 1)))
+        indices = array("i", bytes(4 * total))
+        pos = 0
+        for i, row in enumerate(rows):
+            for w in row:
+                indices[pos] = w
+                pos += 1
+            offsets[i + 1] = pos
+        return Graph._from_csr(k, offsets, indices, total // 2), originals
+
+    def subgraph_view(self, allowed: Iterable[int] | bytearray) -> "SubgraphView":
+        """Allocation-free masked view of the subgraph induced by ``allowed``.
+
+        Accepts a node iterable or a prebuilt ``bytearray`` mask of length
+        ``n``.  The view shares this graph's CSR buffers — nothing is
+        copied — and exposes the filtered ``degree`` / ``neighbors`` /
+        ``mask`` that the remainder-graph and per-layer call sites need.
+        """
+        if isinstance(allowed, bytearray):
+            mask = allowed
+        else:
+            mask = bytearray(self.n)
+            for v in allowed:
+                mask[v] = 1
+        return SubgraphView(self, mask)
 
     def complement_within(self, nodes: Sequence[int]) -> list[tuple[int, int]]:
         """Non-edges among ``nodes`` (pairs in original labels).
@@ -226,3 +393,161 @@ class Graph:
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"Graph(n={self.n}, m={self.num_edges}, Δ={self.max_degree()})"
+
+
+class SubgraphView:
+    """Read-only masked view of a :class:`Graph` (no copying).
+
+    ``view.mask`` is a ``bytearray`` usable directly as the ``allowed``
+    argument of the BFS helpers; ``degree``/``neighbors`` filter through it
+    on the fly.  Use :meth:`materialize` when a relabeled concrete
+    :class:`Graph` is genuinely needed.
+    """
+
+    __slots__ = ("graph", "mask")
+
+    def __init__(self, graph: Graph, mask: bytearray):
+        if len(mask) != graph.n:
+            raise GraphError(
+                f"mask length {len(mask)} does not match graph on {graph.n} nodes"
+            )
+        self.graph = graph
+        self.mask = mask
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    def __contains__(self, v: int) -> bool:
+        return bool(self.mask[v])
+
+    def nodes(self) -> Iterator[int]:
+        """Member nodes in ascending order."""
+        mask = self.mask
+        return (v for v in range(self.graph.n) if mask[v])
+
+    def num_nodes(self) -> int:
+        return sum(self.mask)
+
+    def degree(self, v: int) -> int:
+        """Degree of ``v`` inside the view."""
+        mask = self.mask
+        return sum(1 for w in self.graph.adj[v] if mask[w])
+
+    def neighbors(self, v: int) -> list[int]:
+        """Neighbours of ``v`` inside the view (fresh list)."""
+        mask = self.mask
+        return [w for w in self.graph.adj[v] if mask[w]]
+
+    def num_edges(self) -> int:
+        """Edge count of the induced subgraph (O(vol of the member set))."""
+        mask = self.mask
+        adj = self.graph.adj
+        twice = 0
+        for v in range(self.graph.n):
+            if mask[v]:
+                for w in adj[v]:
+                    if mask[w]:
+                        twice += 1
+        return twice // 2
+
+    def materialize(self) -> tuple[Graph, list[int]]:
+        """Concrete relabeled induced subgraph (see :meth:`Graph.subgraph`)."""
+        mask = self.mask
+        return self.graph.subgraph([v for v in range(self.graph.n) if mask[v]])
+
+
+class GraphBuilder:
+    """Incremental graph construction for generators.
+
+    Collects edges (optionally deduplicating on the fly) and emits a
+    :class:`Graph` through the unchecked CSR fast path, skipping the
+    validation passes that :class:`Graph` runs on untrusted input.
+
+    Usage::
+
+        builder = GraphBuilder(n)
+        for u, v in stream:
+            builder.add_edge(u, v)        # raises on loops/range errors
+        graph = builder.build()
+    """
+
+    __slots__ = ("n", "_us", "_vs", "_seen", "_dedup")
+
+    def __init__(self, n: int = 0, dedup: bool = False):
+        if n < 0:
+            raise GraphError(f"node count must be non-negative, got {n}")
+        self.n = n
+        self._us = array("i")
+        self._vs = array("i")
+        self._dedup = dedup
+        self._seen: set[int] | None = set() if dedup else None
+
+    def add_node(self) -> int:
+        """Append a fresh isolated node, returning its index."""
+        v = self.n
+        self.n += 1
+        return v
+
+    def ensure_node(self, v: int) -> None:
+        """Grow the node range to include ``v``."""
+        if v >= self.n:
+            self.n = v + 1
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Record the edge ``{u, v}``.
+
+        Returns False (instead of raising) for a duplicate when the builder
+        was created with ``dedup=True``.  Raises :class:`GraphError` for
+        self-loops and, without dedup, leaves duplicate detection to the
+        caller's discipline (generators emit each edge once by
+        construction).
+        """
+        if u == v:
+            raise GraphError(f"self-loop at node {u} is not allowed")
+        if u < 0 or v < 0:
+            raise GraphError(f"edge ({u}, {v}) has a negative endpoint")
+        if v >= self.n or u >= self.n:
+            self.ensure_node(max(u, v))
+        if self._seen is not None:
+            key = (u << 32) | v if u < v else (v << 32) | u
+            if key in self._seen:
+                return False
+            self._seen.add(key)
+        self._us.append(u)
+        self._vs.append(v)
+        return True
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Membership probe; only available on deduplicating builders."""
+        if self._seen is None:
+            raise GraphError("has_edge requires GraphBuilder(dedup=True)")
+        key = (u << 32) | v if u < v else (v << 32) | u
+        return key in self._seen
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._us)
+
+    def build(self) -> Graph:
+        """Emit the accumulated graph via the unchecked CSR path."""
+        n = self.n
+        us, vs = self._us, self._vs
+        m = len(us)
+        offsets = array("i", bytes(4 * (n + 1)))
+        for i in range(m):
+            offsets[us[i] + 1] += 1
+            offsets[vs[i] + 1] += 1
+        total = 0
+        for i in range(1, n + 1):
+            total += offsets[i]
+            offsets[i] = total
+        indices = array("i", bytes(4 * total))
+        cursor = array("i", offsets[:n])
+        for i in range(m):
+            u, v = us[i], vs[i]
+            indices[cursor[u]] = v
+            cursor[u] += 1
+            indices[cursor[v]] = u
+            cursor[v] += 1
+        return Graph._from_csr(n, offsets, indices, m)

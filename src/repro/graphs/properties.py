@@ -41,6 +41,10 @@ def is_clique_nodes(graph: Graph, nodes: Sequence[int]) -> bool:
     k = len(node_list)
     if k <= 2:
         return True
+    # Degree screen first: O(1) per node via the CSR offsets, rejecting
+    # almost all non-cliques before any set is built.
+    if any(graph.degree(v) < k - 1 for v in node_list):
+        return False
     node_set = set(node_list)
     adj_sets = graph.adjacency_sets()
     return all(len(adj_sets[v] & node_set) == k - 1 for v in node_list)
@@ -55,6 +59,8 @@ def is_odd_cycle_nodes(graph: Graph, nodes: Sequence[int]) -> bool:
     node_list = list(nodes)
     k = len(node_list)
     if k < 3 or k % 2 == 0:
+        return False
+    if any(graph.degree(v) < 2 for v in node_list):
         return False
     node_set = set(node_list)
     adj_sets = graph.adjacency_sets()
@@ -75,7 +81,11 @@ def is_odd_cycle_nodes(graph: Graph, nodes: Sequence[int]) -> bool:
 
 def is_complete(graph: Graph) -> bool:
     """True iff the whole graph is a clique (on >= 1 node)."""
-    return graph.n >= 1 and is_clique_nodes(graph, range(graph.n))
+    if graph.n < 1:
+        return False
+    if graph.num_edges != graph.n * (graph.n - 1) // 2:
+        return False
+    return is_clique_nodes(graph, range(graph.n))
 
 
 def is_cycle_graph(graph: Graph) -> bool:

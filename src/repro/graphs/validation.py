@@ -63,11 +63,12 @@ def validate_coloring(
         if len(violations) >= max_violations:
             break
     if len(violations) < max_violations:
+        adj = graph.adj
         for u in range(graph.n):
             cu = colors[u]
             if cu == UNCOLORED:
                 continue
-            for v in graph.adj[u]:
+            for v in adj[u]:
                 if u < v and colors[v] == cu:
                     violations.append(f"edge ({u}, {v}) is monochromatic (color {cu})")
                     if len(violations) >= max_violations:

@@ -20,6 +20,19 @@ The node program interface is deliberately tiny:
 
 The engine stops when every node has halted or ``max_rounds`` is hit, and
 charges every executed round to the ledger.
+
+Scaling notes (CSR era): the communication topology sits in the
+:class:`repro.graphs.graph.Graph` CSR buffers; the engine resolves the
+*active-neighbour* lists (the paper constantly runs subroutines on a
+remainder graph H or a single layer, so inactive neighbours must be
+filtered out) **once in the constructor** instead of per ``run`` call.
+When every node is active the engine hands out the graph's own adjacency
+rows without copying; a masked filter pass builds the restricted rows
+otherwise.  Repeated ``run`` invocations on one network — the dominant
+pattern in the per-layer subroutines — therefore pay no per-run setup
+proportional to the graph.  Node programs receive these shared lists in
+``ctx.neighbors`` and must treat them as read-only (copy before mutating,
+as ``LubyProgram`` does with its ``live_neighbors`` set).
 """
 
 from __future__ import annotations
@@ -39,7 +52,8 @@ class NodeContext:
 
     ``node`` is the unique identifier (LOCAL gives nodes O(log n)-bit ids;
     we use the index).  ``state`` is free-form per-node storage owned by the
-    program.  ``halted`` is managed by the engine.
+    program.  ``halted`` is managed by the engine.  ``neighbors`` is the
+    engine-owned active-neighbour list — read-only by contract.
     """
 
     node: int
@@ -79,6 +93,10 @@ class SyncNetwork:
         subroutines on a remainder graph H or a single layer); inactive
         nodes neither send nor receive, and messages to them are dropped —
         equivalent to running on the induced subgraph.
+
+    The active-neighbour lists are precomputed once here (not per
+    :meth:`run`): the full-graph case shares the CSR-backed adjacency rows
+    outright, the restricted case filters through a byte mask.
     """
 
     def __init__(
@@ -89,10 +107,21 @@ class SyncNetwork:
     ):
         self.graph = graph
         self.ledger = ledger if ledger is not None else RoundLedger()
+        adj = graph.adj
         if active is None:
             self.active = set(range(graph.n))
+            self._active_nodes = list(range(graph.n))
+            self._neighbors: list[list[int]] = adj
         else:
             self.active = set(active)
+            self._active_nodes = sorted(self.active)
+            mask = bytearray(graph.n)
+            for v in self._active_nodes:
+                mask[v] = 1
+            self._neighbors = [
+                [u for u in adj[v] if mask[u]] if mask[v] else []
+                for v in range(graph.n)
+            ]
         self.contexts: dict[int, NodeContext] = {}
 
     def run(self, program: NodeProgram, max_rounds: int = 10_000) -> dict[int, NodeContext]:
@@ -103,16 +132,18 @@ class SyncNetwork:
         programs in this package always halt, so hitting the cap indicates
         a bug rather than an unlucky run.
         """
-        active = self.active
+        neighbors = self._neighbors
         self.contexts = {
-            v: NodeContext(node=v, neighbors=[u for u in self.graph.adj[v] if u in active])
-            for v in active
+            v: NodeContext(node=v, neighbors=neighbors[v]) for v in self._active_nodes
         }
-        for ctx in self.contexts.values():
+        contexts = self.contexts
+        for ctx in contexts.values():
             program.start(ctx)
 
         round_index = 0
-        live = {v for v, ctx in self.contexts.items() if not ctx.halted}
+        live = {v for v, ctx in contexts.items() if not ctx.halted}
+        message = program.message
+        receive = program.receive
         while live:
             round_index += 1
             if round_index > max_rounds:
@@ -121,14 +152,14 @@ class SyncNetwork:
                 )
             outbox: dict[int, Any] = {}
             for v in live:
-                msg = program.message(self.contexts[v], round_index)
+                msg = message(contexts[v], round_index)
                 if msg is not None:
                     outbox[v] = msg
             newly_halted = []
             for v in live:
-                ctx = self.contexts[v]
+                ctx = contexts[v]
                 inbox = {u: outbox[u] for u in ctx.neighbors if u in outbox}
-                if program.receive(ctx, round_index, inbox):
+                if receive(ctx, round_index, inbox):
                     ctx.halted = True
                     newly_halted.append(v)
             for v in newly_halted:

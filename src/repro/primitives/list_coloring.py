@@ -126,7 +126,10 @@ def list_coloring_random(
         ledger.charge(1)
         proposals: dict[int, int] = {}
         for v in uncolored:
-            options = available_colors(graph, colors, v, max_colors)
+            # Inline available_colors: this is the innermost loop of every
+            # randomized layer-coloring phase.
+            taken = {colors[u] for u in adj[v]}
+            options = [c for c in range(1, max_colors + 1) if c not in taken]
             if not options:
                 raise InfeasibleListColoringError(
                     f"node {v} has no available color (caller violated deg+1)"

@@ -274,10 +274,18 @@ def greedy_mis_from_coloring(
     in_set: set[int] = set()
     blocked: set[int] = set()
     adj = graph.adj
+    # Bucket the active nodes by class once: a color class is an
+    # independent set, so join decisions within one class are
+    # order-independent and the per-class scan need not revisit all of
+    # ``live`` (palette is O(Δ²) — the historical palette × live scan
+    # dominated this finisher on large graphs).
+    by_class: dict[int, list[int]] = {}
+    for v in live:
+        by_class.setdefault(base_colors[v], []).append(v)
     for color_class in range(palette):
         ledger.charge(1)
-        for v in live:
-            if base_colors[v] == color_class and v not in blocked:
+        for v in by_class.get(color_class, ()):
+            if v not in blocked:
                 in_set.add(v)
                 blocked.add(v)
                 for u in adj[v]:
