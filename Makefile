@@ -2,10 +2,14 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench-smoke bench-sweep bench-million
+.PHONY: test check bench-smoke bench-sweep bench-million
 
 test:
 	$(PY) -m pytest -x -q
+
+# What CI runs: the tier-1 suite plus the bench-rot smoke pass, so the
+# solver facade and the bench harness cannot rot independently.
+check: test bench-smoke
 
 # CI rot check: every benchmarks/bench_e*.py at its single smallest size.
 bench-smoke:

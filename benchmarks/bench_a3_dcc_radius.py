@@ -12,9 +12,9 @@ from __future__ import annotations
 
 from common import emit
 from repro.analysis.experiments import sweep
-from repro.core.randomized import RandomizedParams, delta_coloring_randomized
+from repro.api import SolverConfig, solve
+from repro.core.randomized import RandomizedParams
 from repro.graphs.generators import random_regular_graph, torus_grid
-from repro.graphs.validation import validate_coloring
 
 
 def build_table():
@@ -26,9 +26,13 @@ def build_table():
         else:
             graph = random_regular_graph(2048, 3, seed=seed)
             delta = 3
-        params = RandomizedParams(dcc_radius=r, seed=seed, engine="hybrid")
-        result = delta_coloring_randomized(graph, params)
-        validate_coloring(graph, result.colors, max_colors=delta)
+        # SolverConfig.params overrides the per-Δ presets knob-for-knob.
+        config = SolverConfig(
+            algorithm="randomized",
+            params=RandomizedParams(dcc_radius=r, seed=seed, engine="hybrid"),
+        )
+        result = solve(graph, config)
+        assert result.palette == delta
         return {
             "rounds": result.rounds,
             "dcc_nodes_%": 100 * result.stats["nodes_in_dccs"] / graph.n,

@@ -13,10 +13,9 @@ import random
 
 from common import emit, sizes
 from repro.analysis.experiments import sweep
+from repro.api import solve
 from repro.core.brooks import default_fix_radius
-from repro.core.slocal_coloring import slocal_delta_coloring
 from repro.graphs.generators import random_regular_graph
-from repro.graphs.validation import validate_coloring
 
 
 def build_table():
@@ -27,11 +26,11 @@ def build_table():
         graph = random_regular_graph(n, delta, seed=seed)
         order = list(range(n))
         random.Random(seed).shuffle(order)
-        colors, slocal_run = slocal_delta_coloring(graph, order)
-        validate_coloring(graph, colors, max_colors=delta)
-        cheap = sum(1 for r in slocal_run.per_node_radius.values() if r <= 2)
+        result = solve(graph, algorithm="slocal", order=order)
+        histogram = result.stats["locality_histogram"]
+        cheap = sum(k for r, k in histogram.items() if int(r) <= 2)
         return {
-            "max_locality": max(slocal_run.per_node_radius.values()),
+            "max_locality": max(int(r) for r in histogram),
             "cheap_%": 100.0 * cheap / n,
             "bound": default_fix_radius(n, delta),
         }

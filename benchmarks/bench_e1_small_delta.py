@@ -17,9 +17,8 @@ import math
 from common import cached_high_girth, emit, sizes
 from repro.analysis.experiments import sweep
 from repro.analysis.stats import fit_against, loglog_slope
-from repro.core.randomized import delta_coloring_small_delta
+from repro.api import solve
 from repro.graphs.generators import random_regular_graph
-from repro.graphs.validation import validate_coloring
 
 
 def build_table():
@@ -31,8 +30,8 @@ def build_table():
             graph = cached_high_girth(min(n, 32768), 3, 9, seed)
         else:
             graph = random_regular_graph(n, 3, seed=seed)
-        result = delta_coloring_small_delta(graph, seed=seed)
-        validate_coloring(graph, result.colors, max_colors=3)
+        result = solve(graph, algorithm="randomized-small", seed=seed)
+        assert result.palette == 3
         return {
             "rounds": result.rounds,
             "t_nodes": result.stats["t_nodes"],

@@ -16,9 +16,8 @@ import math
 from common import emit, sizes
 from repro.analysis.experiments import sweep
 from repro.analysis.stats import fit_against, loglog_slope
-from repro.core.randomized import delta_coloring_large_delta
+from repro.api import solve
 from repro.graphs.generators import random_regular_graph
-from repro.graphs.validation import validate_coloring
 
 
 def build_delta_sweep():
@@ -27,8 +26,8 @@ def build_delta_sweep():
 
     def run(point, seed):
         graph = random_regular_graph(n, point["delta"], seed=seed)
-        result = delta_coloring_large_delta(graph, seed=seed)
-        validate_coloring(graph, result.colors, max_colors=point["delta"])
+        result = solve(graph, algorithm="randomized-large", seed=seed)
+        assert result.palette == point["delta"]
         return {
             "rounds": result.rounds,
             "b_layers_rounds": sum(
@@ -63,8 +62,8 @@ def build_n_sweep():
 
     def run(point, seed):
         graph = random_regular_graph(point["n"], 8, seed=seed)
-        result = delta_coloring_large_delta(graph, seed=seed)
-        validate_coloring(graph, result.colors, max_colors=8)
+        result = solve(graph, algorithm="randomized-large", seed=seed)
+        assert result.palette == 8
         return {"rounds": result.rounds}
 
     table = sweep(

@@ -19,9 +19,8 @@ import math
 from common import emit, sizes
 from repro.analysis.experiments import sweep
 from repro.analysis.stats import fit_against, loglog_slope
-from repro.core.deterministic import delta_coloring_deterministic
+from repro.api import solve
 from repro.graphs.generators import random_regular_graph
-from repro.graphs.validation import validate_coloring
 
 
 def build_table():
@@ -30,8 +29,8 @@ def build_table():
 
     def run(point, seed):
         graph = random_regular_graph(point["n"], point["delta"], seed=seed)
-        result = delta_coloring_deterministic(graph)
-        validate_coloring(graph, result.colors, max_colors=point["delta"])
+        result = solve(graph, algorithm="deterministic")
+        assert result.palette == point["delta"]
         return {
             "rounds": result.rounds,
             "layers": result.stats["num_layers"],

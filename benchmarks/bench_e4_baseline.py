@@ -16,10 +16,8 @@ from __future__ import annotations
 from common import emit, sizes
 from repro.analysis.experiments import sweep
 from repro.analysis.stats import loglog_slope
-from repro.baselines.panconesi_srinivasan import ps_delta_coloring
-from repro.core.randomized import delta_coloring_large_delta, delta_coloring_small_delta
+from repro.api import solve
 from repro.graphs.generators import random_regular_graph
-from repro.graphs.validation import validate_coloring
 
 
 def build_table():
@@ -29,13 +27,10 @@ def build_table():
     def run(point, seed):
         n, delta = point["n"], point["delta"]
         graph = random_regular_graph(n, delta, seed=seed)
-        if delta >= 4:
-            new = delta_coloring_large_delta(graph, seed=seed)
-        else:
-            new = delta_coloring_small_delta(graph, seed=seed)
-        validate_coloring(graph, new.colors, max_colors=delta)
-        old = ps_delta_coloring(graph, seed=seed)
-        validate_coloring(graph, old.colors, max_colors=delta)
+        # "randomized" is the paper dispatch: Thm 1 for Δ=3, Thm 3 for Δ≥4.
+        new = solve(graph, algorithm="randomized", seed=seed)
+        old = solve(graph, algorithm="ps", seed=seed)
+        assert new.palette == delta and old.palette == delta
         return {
             "new_rounds": new.rounds,
             "ps_rounds": old.rounds,

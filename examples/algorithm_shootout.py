@@ -1,40 +1,41 @@
-"""Algorithm shootout: all four Δ-colorers on the same instances.
+"""Algorithm shootout: every registered Δ-colorer on the same instances.
 
-Runs the paper's three algorithms (small-Δ randomized, large-Δ
-randomized, deterministic) and the Panconesi–Srinivasan baseline on a
-family sweep, printing LOCAL round counts side by side — a miniature
-version of benchmark E4.
+Iterates the solver registry (``repro.list_algorithms``) instead of
+hand-picking entry points: the paper's randomized algorithms (Theorem 1
+picked automatically for Δ = 3, Theorem 3 for Δ ≥ 4), the deterministic
+layering pipeline, the SLOCAL colorer, and the Panconesi–Srinivasan
+baseline, printing LOCAL round counts side by side — a miniature version
+of benchmark E4.  A new engine registered under a new name shows up here
+with zero changes.
 
 Run:  python examples/algorithm_shootout.py
 """
 
 from repro import (
-    delta_coloring_deterministic,
-    delta_coloring_large_delta,
-    delta_coloring_small_delta,
+    get_algorithm,
     high_girth_regular_graph,
-    ps_delta_coloring,
     random_regular_graph,
+    solve,
     torus_grid,
     validate_coloring,
 )
 
+CONTENDERS = ["randomized", "deterministic", "slocal", "ps"]
+
 
 def run_all(graph, name: str, seed: int) -> None:
     delta = graph.max_degree()
-    rows = []
-    if delta == 3:
-        rows.append(("randomized small-Δ (Thm 1)",
-                     delta_coloring_small_delta(graph, seed=seed)))
-    else:
-        rows.append(("randomized large-Δ (Thm 3)",
-                     delta_coloring_large_delta(graph, seed=seed)))
-    rows.append(("deterministic (Thm 4)", delta_coloring_deterministic(graph)))
-    rows.append(("Panconesi–Srinivasan '95", ps_delta_coloring(graph, seed=seed)))
     print(f"\n[{name}]  n={graph.n}, Δ={delta}")
-    for label, result in rows:
+    for algorithm in CONTENDERS:
+        spec = get_algorithm(algorithm)
+        result = solve(graph, algorithm=algorithm, seed=seed)
         validate_coloring(graph, result.colors, max_colors=delta)
-        print(f"  {label:<28} {result.rounds:>7} rounds")
+        cost = (
+            f"{result.rounds:>7} rounds" if result.stats.get("model") != "SLOCAL"
+            else f"{result.rounds:>7} locality"
+        )
+        kind = "det" if spec.deterministic else "rand"
+        print(f"  {result.algorithm:<18} [{kind}] {cost}   ({spec.summary})")
 
 
 def main() -> None:

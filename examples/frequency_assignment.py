@@ -11,6 +11,8 @@ paper's introduction debates.
 The demo also runs an irregular deployment (random placement with a
 degree cap) and shows the LOCAL round counts: the assignment is computed
 by message passing among the radios themselves, no central controller.
+Both the Δ-coloring and the greedy reference come from the same facade
+call (``repro.solve``), differing only in the algorithm name.
 
 Run:  python examples/frequency_assignment.py
 """
@@ -18,10 +20,9 @@ Run:  python examples/frequency_assignment.py
 from collections import Counter
 
 from repro import (
-    centralized_greedy,
-    delta_color,
     random_nice_graph,
     random_regular_graph,
+    solve,
     torus_grid,
     validate_coloring,
 )
@@ -30,16 +31,16 @@ from repro.graphs.properties import is_nice
 
 def assign_frequencies(graph, name: str, seed: int) -> None:
     delta = graph.max_degree()
-    result = delta_color(graph, seed=seed)
+    result = solve(graph, algorithm="randomized", seed=seed)
     validate_coloring(graph, result.colors, max_colors=delta)
-    greedy = centralized_greedy(graph)
+    greedy = solve(graph, algorithm="greedy")
     usage = Counter(result.colors)
     print(f"[{name}] n={graph.n}, interference degree Δ={delta}")
     print(f"  distributed Δ-coloring : {len(usage)} frequencies "
-          f"(guarantee: Δ = {delta}), {result.rounds} LOCAL rounds")
+          f"(guarantee: Δ = {result.palette}), {result.rounds} LOCAL rounds")
     print(f"  channel load           : "
           + ", ".join(f"f{c}:{k}" for c, k in sorted(usage.items())))
-    print(f"  greedy (centralized)   : {len(set(greedy))} frequencies "
+    print(f"  greedy (centralized)   : {greedy.num_colors_used} frequencies "
           f"(guarantee only Δ+1 = {delta + 1})")
     print()
 

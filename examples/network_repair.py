@@ -1,11 +1,12 @@
 """Local repair after a node reset — Theorem 5 in action.
 
 Scenario: a running network already holds a valid Δ-coloring (say, TDMA
-slots).  A node crashes, loses its slot, and rejoins; worse, its
-neighbourhood may have been re-arranged so that all Δ slots appear around
-it.  Recomputing the whole schedule is wasteful; the distributed Brooks'
-theorem (Theorem 5) guarantees the coloring can be mended by changing
-slots only within radius 2·log_{Δ-1} n of the rejoining node.
+slots) — computed here through the solver facade (``repro.solve``).  A
+node crashes, loses its slot, and rejoins; worse, its neighbourhood may
+have been re-arranged so that all Δ slots appear around it.  Recomputing
+the whole schedule is wasteful; the distributed Brooks' theorem
+(Theorem 5) guarantees the coloring can be mended by changing slots only
+within radius 2·log_{Δ-1} n of the rejoining node.
 
 The demo colors a network, then repeatedly knocks out a node, re-colors
 its surroundings from scratch (the adversarial case — simply restoring
@@ -24,6 +25,7 @@ from repro import (
     degree_list_color,
     fix_uncolored_node,
     random_regular_graph,
+    solve,
     validate_coloring,
 )
 from repro.errors import InfeasibleListColoringError
@@ -60,10 +62,13 @@ def scramble_without(graph: Graph, v: int, delta: int, rng: random.Random):
 def main() -> None:
     delta = 3
     graph = random_regular_graph(1000, delta, seed=5)
+    # The running network's schedule: one facade call, Δ slots.
+    schedule = solve(graph, seed=5)
+    print(f"network: n={graph.n}, Δ={delta}; initial schedule by "
+          f"[{schedule.algorithm}] in {schedule.rounds} LOCAL rounds")
     bound = default_fix_radius(graph.n, delta)
     rng = random.Random(42)
-    print(f"network: n={graph.n}, Δ={delta}; Theorem 5 bound: "
-          f"repairs reach at most radius {bound}\n")
+    print(f"Theorem 5 bound: repairs reach at most radius {bound}\n")
     print(f"{'node':>6} {'stuck?':>7} {'mode':>16} {'radius':>7} "
           f"{'recolored':>10} {'rounds':>7}")
     repairs = 0

@@ -4,17 +4,14 @@ A Δ-coloring uses exactly Δ = max-degree colors — one fewer than the
 trivial greedy (Δ+1) coloring.  By Brooks' theorem it exists for every
 *nice* graph (connected, not a clique / cycle / path); this package
 reproduces the PODC 2018 distributed algorithms that compute it in very
-few LOCAL rounds.
+few LOCAL rounds.  Everything goes through the unified facade:
+``repro.solve`` returns one :class:`repro.ColoringResult` whatever
+algorithm runs underneath.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    centralized_greedy,
-    delta_color,
-    random_regular_graph,
-    validate_coloring,
-)
+from repro import random_regular_graph, solve, validate_coloring
 
 
 def main() -> None:
@@ -23,12 +20,12 @@ def main() -> None:
     delta = graph.max_degree()
     print(f"graph: n={graph.n}, m={graph.num_edges}, Δ={delta}")
 
-    # One call; dispatches to the right algorithm for Δ (Theorem 1 or 3).
-    result = delta_color(graph, seed=7)
+    # One call; "auto" dispatches to the right algorithm for (n, Δ, class).
+    result = solve(graph, seed=7)
     validate_coloring(graph, result.colors, max_colors=delta)
-    used = len(set(result.colors))
-    print(f"Δ-coloring: {used} colors (palette 1..{delta}), "
-          f"{result.rounds} LOCAL rounds")
+    print(f"Δ-coloring [{result.algorithm}]: {result.num_colors_used} colors "
+          f"(palette 1..{result.palette}), {result.rounds} LOCAL rounds, "
+          f"{result.wall_time_s:.3f}s wall clock")
 
     # The per-phase round breakdown mirrors the paper's phases (1)-(9).
     print("\nrounds by phase:")
@@ -42,10 +39,14 @@ def main() -> None:
     for key in interesting:
         print(f"  {key:<22} {result.stats[key]}")
 
-    # Contrast: sequential greedy needs Δ+1 colors on regular graphs.
-    greedy = centralized_greedy(graph)
-    print(f"\ngreedy baseline uses {len(set(greedy))} colors "
+    # Contrast: sequential greedy needs Δ+1 colors on regular graphs —
+    # the baseline is just another registry name.
+    greedy = solve(graph, algorithm="greedy")
+    print(f"\ngreedy baseline uses {greedy.num_colors_used} colors "
           f"(Δ-coloring saves one full color class)")
+
+    # The whole result round-trips through JSON for scripted callers.
+    print(f"\nresult schema keys: {sorted(result.as_dict())}")
 
 
 if __name__ == "__main__":

@@ -7,19 +7,19 @@ trivial sequential greedy into an SLOCAL(O(log_Δ n)) Δ-coloring: almost
 every node just picks a free color, and the rare stuck node repairs
 within a logarithmic ball instead of giving up or using color Δ+1.
 
-The demo colors a 4-regular graph in a shuffled order and prints the
-locality histogram: the whole point is how thin the expensive tail is.
+The demo runs ``solve(graph, algorithm="slocal")`` with a shuffled order
+and prints the locality histogram from the result's stats: the whole
+point is how thin the expensive tail is.
 
 Run:  python examples/slocal_greedy.py
 """
 
 import random
-from collections import Counter
 
 from repro import (
     default_fix_radius,
     random_regular_graph,
-    slocal_delta_coloring,
+    solve,
     validate_coloring,
 )
 
@@ -30,17 +30,20 @@ def main() -> None:
     order = list(range(graph.n))
     random.Random(99).shuffle(order)
 
-    colors, run = slocal_delta_coloring(graph, order)
-    validate_coloring(graph, colors, max_colors=delta)
+    result = solve(graph, algorithm="slocal", order=order)
+    validate_coloring(graph, result.colors, max_colors=delta)
 
     bound = default_fix_radius(graph.n, delta)
-    histogram = Counter(run.per_node_radius.values())
+    histogram = {
+        int(radius): count
+        for radius, count in result.stats["locality_histogram"].items()
+    }
     print(f"n={graph.n}, Δ={delta}: valid Δ-coloring in adversarial order")
     print(f"Theorem 5 locality bound: {bound}\n")
     print("locality  nodes")
     for radius in sorted(histogram):
         print(f"{radius:>8}  {histogram[radius]}")
-    print(f"\nmax locality used: {run.write_radius} (bound {bound});")
+    print(f"\nmax locality used: {result.stats['max_locality']} (bound {bound});")
     expensive = sum(k for r, k in histogram.items() if r > 2)
     print(f"nodes needing more than a 2-ball: {expensive} of {graph.n} "
           f"({100 * expensive / graph.n:.2f}%)")

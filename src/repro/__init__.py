@@ -9,19 +9,41 @@ marking process, layering, shattering), every substrate they cite (Linial
 coloring, MIS, ruling sets, (deg+1)-list coloring), and the
 Panconesi–Srinivasan baseline they improve on.
 
-Quick start::
+Quick start — everything routes through the unified solver facade
+(:mod:`repro.api`)::
 
-    from repro import random_regular_graph, delta_color, validate_coloring
+    from repro import random_regular_graph, solve
 
     graph = random_regular_graph(1000, d=4, seed=1)
-    result = delta_color(graph, seed=1)          # Δ-coloring, Δ = 4 colors
-    validate_coloring(graph, result.colors, max_colors=4)
+    result = solve(graph, seed=1)            # "auto": picks by (n, Δ, class)
+    print(result.algorithm, result.palette)  # randomized-large, Δ = 4 colors
     print(result.rounds, result.phase_rounds)
+    print(result.as_dict()["wall_time_s"])   # JSON-ready schema
 
+    # Pick an engine by registry name, batch over a process pool:
+    from repro import SolverConfig, solve_many, list_algorithms
+
+    print(list_algorithms())  # auto, randomized, ..., ps, greedy, components
+    results = solve_many(graphs, SolverConfig(algorithm="ps"), workers=4)
+
+The pre-facade entry points (:func:`delta_color`, the per-theorem
+``delta_coloring_*`` functions, :func:`color_graph`, ...) remain as
+deprecated-but-stable wrappers over the same engines — see docs/API.md.
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured experiment index.
 """
 
+from repro.api import (
+    AlgorithmSpec,
+    ColoringResult,
+    SolverConfig,
+    SolverPool,
+    get_algorithm,
+    list_algorithms,
+    register_algorithm,
+    solve,
+    solve_many,
+)
 from repro.baselines import centralized_brooks, centralized_greedy, ps_delta_coloring
 from repro.core import (
     ComponentColoring,
@@ -71,6 +93,15 @@ from repro.local import RoundLedger
 __version__ = "1.0.0"
 
 __all__ = [
+    "solve",
+    "solve_many",
+    "SolverConfig",
+    "SolverPool",
+    "ColoringResult",
+    "AlgorithmSpec",
+    "register_algorithm",
+    "get_algorithm",
+    "list_algorithms",
     "delta_color",
     "Graph",
     "UNCOLORED",
@@ -119,18 +150,25 @@ __all__ = [
 def delta_color(graph: Graph, seed: int = 0, strict: bool = False) -> DeltaColoringResult:
     """Δ-color a nice graph with the best-fitting algorithm of the paper.
 
-    Dispatches on Δ exactly as the paper's results do: the small-Δ
-    algorithm (Theorem 1) for Δ = 3, the large-Δ algorithm (Theorem 3)
-    for Δ >= 4.  The result's ``colors`` use palette {1..Δ}.
+    Deprecated-but-stable wrapper over ``solve(graph,
+    algorithm="randomized")``: dispatches on Δ exactly as the paper's
+    results do — the small-Δ algorithm (Theorem 1) for Δ = 3, the
+    large-Δ algorithm (Theorem 3) for Δ >= 4 — and repackages the
+    facade's :class:`ColoringResult` as the legacy
+    :class:`DeltaColoringResult`.  The result's ``colors`` use palette
+    {1..Δ}.
 
     Raises :class:`NotNiceGraphError` on cliques, cycles, and paths —
     those are exactly the graphs Brooks' theorem excludes (or that need
     Ω(n) rounds).
     """
-    from repro.graphs.properties import assert_nice
-
-    assert_nice(graph)
-    delta = graph.max_degree()
-    if delta >= 4:
-        return delta_coloring_large_delta(graph, seed=seed, strict=strict)
-    return delta_coloring_small_delta(graph, seed=seed, strict=strict)
+    result = solve(
+        graph, algorithm="randomized", seed=seed, strict=strict, validate=False
+    )
+    return DeltaColoringResult(
+        colors=list(result.colors),
+        delta=result.delta,
+        rounds=result.rounds,
+        phase_rounds=dict(result.phase_rounds),
+        stats=dict(result.stats),
+    )

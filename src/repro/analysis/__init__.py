@@ -9,6 +9,7 @@ from repro.analysis.harness import (
     delta_coloring_sweep,
     measure,
     size_sweep,
+    throughput_sweep,
 )
 from repro.analysis.expansion import (
     ExpansionSample,
@@ -30,6 +31,7 @@ __all__ = [
     "measure",
     "size_sweep",
     "delta_coloring_sweep",
+    "throughput_sweep",
     "ExpansionSample",
     "measure_expansion",
     "bfs_tree_is_unique",

@@ -44,6 +44,7 @@ __all__ = [
     "measure",
     "size_sweep",
     "delta_coloring_sweep",
+    "throughput_sweep",
 ]
 
 
@@ -205,6 +206,8 @@ def delta_coloring_sweep(
     warmup: int = 1,
     repeats: int = 3,
     validate: bool = True,
+    algorithm: str = "randomized-large",
+    on_phase: Callable[[str, int, dict[str, Any]], None] | None = None,
 ) -> list[SweepPoint]:
     """End-to-end Δ-coloring wall-clock sweep on random Δ-regular graphs.
 
@@ -212,20 +215,33 @@ def delta_coloring_sweep(
     250_000-node Δ=8 instance is the canonical million-edge run).  Graph
     generation is excluded from the timed region; validation is part of the
     pipeline under test (it is unconditional in production use).
+
+    Each point runs through :func:`repro.api.solve`; ``algorithm`` is any
+    registry name and ``on_phase`` is the solver's phase observer (the
+    harness reads phase costs from the hook, not result internals).  The
+    observer is replayed exactly **once per size point** — from the final
+    measured run — so aggregating consumers see one event per phase per
+    point, not warmup+repeats duplicates; the timed runs themselves are
+    observer-free.
     """
-    from repro.core.randomized import delta_coloring_large_delta
+    from repro.api import SolverConfig, solve
     from repro.graphs.generators import random_regular_graph
+
+    config = SolverConfig(algorithm=algorithm, seed=seed, validate=validate)
 
     def setup(point: dict[str, Any]):
         return random_regular_graph(point["n"], delta, seed=seed)
 
     def run(graph):
-        result = delta_coloring_large_delta(graph, seed=seed)
-        if validate:
-            from repro.graphs.validation import validate_coloring
+        return solve(graph, config)
 
-            validate_coloring(graph, result.colors, max_colors=delta)
-        return result
+    # measure() hands the final repeat's result to meta_from_result once
+    # per point — the natural place to replay the phases.
+    def meta_from_result(result) -> dict[str, Any]:
+        if on_phase is not None:
+            for name, rounds in result.phase_rounds.items():
+                on_phase(name, rounds, result.phase_stats.get(name, {}))
+        return {"rounds": result.rounds}
 
     return size_sweep(
         [{"n": n, "delta": delta, "m": n * delta // 2} for n in sizes],
@@ -234,5 +250,60 @@ def delta_coloring_sweep(
         warmup=warmup,
         repeats=repeats,
         label=lambda p: f"n={p['n']} Δ={p['delta']} m={p['m']}",
-        meta_from_result=lambda r: {"rounds": r.rounds},
+        meta_from_result=meta_from_result,
     )
+
+
+def throughput_sweep(
+    sizes: Sequence[int],
+    delta: int = 8,
+    seed: int = 0,
+    batch: int = 4,
+    workers: int = 1,
+    warmup: int = 1,
+    repeats: int = 3,
+    algorithm: str = "randomized-large",
+) -> list[SweepPoint]:
+    """Batch-throughput sweep: ``batch`` instances per size point through
+    :func:`repro.api.solve_many` on ``workers`` processes.
+
+    One :class:`repro.api.SolverPool` is created and warmed up front and
+    reused across every sweep point (and every warmup/repeat run), so the
+    timed region measures solving, not worker re-spawning.  The per-point
+    metadata records instances/second — the number the ROADMAP's
+    throughput workloads care about.
+    """
+    from repro.api import SolverConfig, SolverPool, solve_many
+    from repro.graphs.generators import random_regular_graph
+
+    config = SolverConfig(algorithm=algorithm, seed=seed, validate=False)
+
+    def setup(point: dict[str, Any]):
+        return [
+            random_regular_graph(point["n"], delta, seed=seed + i)
+            for i in range(batch)
+        ]
+
+    points = [
+        {"n": n, "delta": delta, "batch": batch, "workers": workers}
+        for n in sizes
+    ]
+    pool = SolverPool(workers).warm() if workers > 1 else None
+    try:
+        sweep_points = size_sweep(
+            points,
+            setup,
+            lambda graphs: solve_many(graphs, config, pool=pool),
+            warmup=warmup,
+            repeats=repeats,
+            label=lambda p: f"n={p['n']} Δ={p['delta']} ×{p['batch']} w={p['workers']}",
+            meta_from_result=lambda rs: {"solved": len(rs)},
+        )
+    finally:
+        if pool is not None:
+            pool.close()
+    for point in sweep_points:
+        point.measurement.meta["graphs_per_s"] = round(
+            batch / point.measurement.best_s, 2
+        )
+    return sweep_points

@@ -1,0 +1,55 @@
+"""repro.api — the unified solver facade.
+
+One stable surface over the package's family of Δ-coloring pipelines:
+
+* a string-keyed **algorithm registry** with capability metadata
+  (:func:`list_algorithms`, :func:`get_algorithm`,
+  :func:`register_algorithm`, :class:`AlgorithmSpec`);
+* a single frozen result type every engine adapts into
+  (:class:`ColoringResult`, JSON-round-trippable via ``as_dict`` /
+  ``from_dict``);
+* one configuration object (:class:`SolverConfig`) consolidating the
+  previously scattered kwargs, including an ``on_phase`` observer hook;
+* :func:`solve` for one graph and :func:`solve_many` (+
+  :class:`SolverPool`) for process-parallel batches.
+
+Quick start::
+
+    from repro.api import solve, solve_many, SolverConfig
+
+    result = solve(graph, algorithm="randomized", seed=1)
+    print(result.rounds, result.palette, result.as_dict()["phase_rounds"])
+
+    results = solve_many(graphs, SolverConfig(algorithm="ps"), workers=4)
+
+See docs/API.md for the registry names, config fields, and the result
+schema.  The pre-facade entry points (``repro.delta_color``,
+``repro.color_graph``, the per-theorem functions) remain available as
+deprecated-but-stable wrappers over the same engines.
+"""
+
+from repro.api.config import PhaseObserver, SolverConfig
+from repro.api.registry import (
+    AlgorithmSpec,
+    algorithm_specs,
+    get_algorithm,
+    list_algorithms,
+    register_algorithm,
+)
+from repro.api.result import ColoringResult
+from repro.api.solver import SolverPool, default_workers, solve, solve_many
+
+__all__ = [
+    "solve",
+    "solve_many",
+    "SolverPool",
+    "SolverConfig",
+    "ColoringResult",
+    "PhaseObserver",
+    "AlgorithmSpec",
+    "register_algorithm",
+    "get_algorithm",
+    "list_algorithms",
+    "algorithm_specs",
+    "default_workers",
+]

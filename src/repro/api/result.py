@@ -1,0 +1,119 @@
+"""The one result type every solver entry point returns.
+
+Historically each pipeline had its own result shape
+(``DeltaColoringResult``, ``DeterministicResult``, ``PSResult``,
+``ComponentColoring``, ``SpecialColoring``, plus the bare
+``(colors, SLocalRun)`` tuple of the SLOCAL colorer), and every caller —
+CLI, harness, benchmarks, examples — poked at whichever attributes its
+algorithm happened to expose.  :class:`ColoringResult` is the single,
+frozen, JSON-round-trippable record they all adapt into; the legacy
+types remain as the engines' native outputs and as deprecated-but-stable
+wrappers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["ColoringResult"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a stats value into a JSON-serialisable structure."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(v) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+@dataclass(frozen=True)
+class ColoringResult:
+    """Outcome of one :func:`repro.api.solve` run.
+
+    Attributes
+    ----------
+    algorithm:
+        The *resolved* registry name that actually ran (``"auto"`` never
+        appears here — the policy records what it picked).
+    n, delta:
+        Instance size and maximum degree.
+    palette:
+        The guaranteed palette size: colors are drawn from
+        ``{1..palette}`` (Δ for the paper's algorithms, χ per component
+        for the special families, ≤ Δ+1 for greedy).
+    colors:
+        The color vector, immutable, indexed by node id.
+    rounds:
+        Total LOCAL rounds charged (for ``slocal`` this is the certified
+        SLOCAL locality radius instead — see ``stats["model"]``).
+    phase_rounds:
+        The per-phase round decomposition, in execution order.
+    phase_stats:
+        Per-phase structural statistics (subset of ``stats`` attributed
+        to the phase that produced it); what :func:`repro.api.solve`
+        replays through the ``on_phase`` observer.
+    stats:
+        All structural statistics of the run, unattributed.
+    seed:
+        The seed the run was configured with (recorded even for
+        deterministic algorithms, which ignore it).
+    wall_time_s:
+        Wall-clock seconds spent inside the engine (excludes facade
+        validation).
+    """
+
+    algorithm: str
+    n: int
+    delta: int
+    palette: int
+    colors: tuple[int, ...]
+    rounds: int
+    phase_rounds: dict[str, int] = field(default_factory=dict)
+    phase_stats: dict[str, dict[str, Any]] = field(default_factory=dict)
+    stats: dict[str, Any] = field(default_factory=dict)
+    seed: int | None = None
+    wall_time_s: float = 0.0
+
+    @property
+    def num_colors_used(self) -> int:
+        """Distinct colors actually present (≤ ``palette``)."""
+        return len(set(self.colors))
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable dict; inverse of :meth:`from_dict`."""
+        return {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "delta": self.delta,
+            "palette": self.palette,
+            "colors": list(self.colors),
+            "rounds": self.rounds,
+            "phase_rounds": dict(self.phase_rounds),
+            "phase_stats": _jsonable(self.phase_stats),
+            "stats": _jsonable(self.stats),
+            "seed": self.seed,
+            "wall_time_s": self.wall_time_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ColoringResult":
+        """Rebuild a result from :meth:`as_dict` output (or parsed JSON)."""
+        return cls(
+            algorithm=data["algorithm"],
+            n=data["n"],
+            delta=data["delta"],
+            palette=data["palette"],
+            colors=tuple(data["colors"]),
+            rounds=data["rounds"],
+            phase_rounds=dict(data.get("phase_rounds", {})),
+            phase_stats={k: dict(v) for k, v in data.get("phase_stats", {}).items()},
+            stats=dict(data.get("stats", {})),
+            seed=data.get("seed"),
+            wall_time_s=data.get("wall_time_s", 0.0),
+        )

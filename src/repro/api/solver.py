@@ -1,0 +1,187 @@
+"""`solve` / `solve_many` — the facade every caller routes through.
+
+:func:`solve` runs one graph through a registered algorithm and returns
+a :class:`repro.api.result.ColoringResult`; :func:`solve_many` fans a
+batch of graphs out over a process pool for throughput workloads.
+:class:`SolverPool` keeps one warmed pool alive across many
+``solve_many`` calls (the harness reuses it across sweep points instead
+of re-spawning workers per point).
+
+Determinism: a solve is a pure function of ``(graph, config)`` — workers
+only change scheduling, never results, so ``solve_many(workers=4)`` is
+bit-identical to ``workers=1``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any
+
+from repro.api.config import SolverConfig
+from repro.api.registry import get_algorithm
+from repro.api.result import ColoringResult
+from repro.graphs.graph import Graph
+from repro.graphs.validation import validate_coloring
+
+__all__ = ["solve", "solve_many", "SolverPool", "default_workers"]
+
+
+def _make_config(config: SolverConfig | None, overrides: dict[str, Any]) -> SolverConfig:
+    if config is None:
+        config = SolverConfig()
+    if overrides:
+        config = config.replace(**overrides)
+    return config
+
+
+def solve(
+    graph: Graph, config: SolverConfig | None = None, **overrides: Any
+) -> ColoringResult:
+    """Color ``graph`` with the configured algorithm.
+
+    ``overrides`` are :class:`SolverConfig` fields applied on top of
+    ``config`` (so ``solve(g, algorithm="ps", seed=3)`` needs no explicit
+    config object).  Raises the engine's own errors unchanged
+    (:class:`repro.errors.NotNiceGraphError` for algorithms that need a
+    nice graph, etc.).
+    """
+    config = _make_config(config, overrides)
+    spec = get_algorithm(config.algorithm)
+    started = time.perf_counter()
+    run = spec.run(graph, config)
+    wall_time = time.perf_counter() - started
+    if config.validate:
+        validate_coloring(graph, run.colors, max_colors=run.palette or None)
+    result = ColoringResult(
+        algorithm=run.algorithm,
+        n=graph.n,
+        delta=run.delta,
+        palette=run.palette,
+        colors=tuple(run.colors),
+        rounds=run.rounds,
+        phase_rounds=dict(run.phase_rounds),
+        phase_stats={k: dict(v) for k, v in run.phase_stats.items()},
+        stats=dict(run.stats),
+        seed=run.seed_used if run.seed_used is not None else config.seed,
+        wall_time_s=wall_time,
+    )
+    _notify(config, result)
+    return result
+
+
+def _notify(config: SolverConfig, result: ColoringResult) -> None:
+    """Replay the run's phases through the observer, in execution order."""
+    if config.on_phase is None:
+        return
+    for name, rounds in result.phase_rounds.items():
+        config.on_phase(name, rounds, result.phase_stats.get(name, {}))
+
+
+def _solve_task(task: tuple[Graph, SolverConfig]) -> ColoringResult:
+    """Top-level worker entry point (must be picklable by name)."""
+    graph, config = task
+    return solve(graph, config)
+
+
+def default_workers() -> int:
+    """Usable CPU count (affinity-aware; ≥ 1)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def solve_many(
+    graphs: Iterable[Graph],
+    config: SolverConfig | None = None,
+    workers: int = 1,
+    pool: "SolverPool | None" = None,
+    **overrides: Any,
+) -> list[ColoringResult]:
+    """Solve a batch of graphs, optionally fanning out over processes.
+
+    Results come back in input order and are bit-identical for any
+    ``workers`` value.  ``workers=1`` (the default) stays in-process;
+    ``workers=N`` spawns a transient pool; passing an existing
+    :class:`SolverPool` reuses its warmed workers and overrides
+    ``workers``.  Observers fire in the parent, per graph, in input
+    order — they never cross the process boundary.
+    """
+    config = _make_config(config, overrides)
+    graphs = list(graphs)
+    if pool is not None:
+        results = pool._map(graphs, config.without_observer())
+    elif workers > 1 and len(graphs) > 1:
+        with SolverPool(workers) as transient:
+            results = transient._map(graphs, config.without_observer())
+    else:
+        return [solve(graph, config) for graph in graphs]
+    for result in results:
+        _notify(config, result)
+    return results
+
+
+class SolverPool:
+    """A reusable process pool for :func:`solve_many` batches.
+
+    Spawning workers (and re-importing the package in each) costs real
+    time; sweeps that call ``solve_many`` once per size point should
+    create one pool up front and pass it to every call::
+
+        with SolverPool(workers=4) as pool:
+            for batch in batches:
+                results = solve_many(batch, config, pool=pool)
+
+    The pool lazily spawns on first use; :meth:`warm` forces the spawn
+    (and a no-op round-trip per worker) ahead of any timed region.
+    """
+
+    def __init__(self, workers: int | None = None):
+        self.workers = workers if workers and workers > 0 else default_workers()
+        self._executor: ProcessPoolExecutor | None = None
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def warm(self) -> "SolverPool":
+        """Spawn the workers now (outside any timed region)."""
+        executor = self._ensure()
+        for _ in executor.map(_noop, range(self.workers)):
+            pass
+        return self
+
+    def _map(
+        self, graphs: Sequence[Graph], config: SolverConfig
+    ) -> list[ColoringResult]:
+        executor = self._ensure()
+        tasks = [(graph, config) for graph in graphs]
+        return list(executor.map(_solve_task, tasks))
+
+    def solve_many(
+        self,
+        graphs: Iterable[Graph],
+        config: SolverConfig | None = None,
+        **overrides: Any,
+    ) -> list[ColoringResult]:
+        """Convenience: :func:`solve_many` bound to this pool."""
+        return solve_many(graphs, config, pool=self, **overrides)
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "SolverPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _noop(_: Any) -> None:
+    return None

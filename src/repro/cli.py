@@ -3,10 +3,13 @@
 Gives downstream users a zero-code path to the library:
 
 * ``color`` — Δ-color a graph given as an edge list file (one ``u v``
-  pair per line, whitespace-separated, 0-based or arbitrary integer ids);
-  writes ``node color`` lines to stdout or a file.  Handles arbitrary
-  graphs via :func:`repro.core.special_cases.color_graph` (nice
-  components get Δ colors, Brooks' exceptions get their optimum).
+  pair per line, whitespace-separated, ``#`` comments allowed, 0-based
+  or arbitrary integer ids); writes ``node color`` lines to stdout or a
+  file, or the full :class:`repro.api.ColoringResult` schema with
+  ``--json``.  ``--algorithm`` accepts any registry name
+  (``repro.api.list_algorithms()``); the default ``auto`` picks per
+  instance and handles arbitrary graphs (nice components get Δ colors,
+  Brooks' exceptions get their optimum).
 * ``demo`` — run one of the bundled example scenarios.
 * ``info`` — parse a graph and print its structural profile (Δ, girth
   probe, niceness, Gallai-tree status, component count).
@@ -14,27 +17,30 @@ Gives downstream users a zero-code path to the library:
   ``--smoke`` runs every ``benchmarks/bench_e*.py`` at its tiniest size
   (the CI rot check behind ``make bench-smoke``), ``--sweep`` times
   end-to-end Δ-coloring across instance sizes with warmup/repetition and
-  optional JSON output.
+  optional JSON output; ``--workers N --batch B`` adds a throughput
+  sweep that fans B instances per size over a shared N-worker pool via
+  :func:`repro.api.solve_many`.
 
 Examples::
 
     python -m repro color edges.txt
     python -m repro color edges.txt --algorithm deterministic -o colors.txt
+    python -m repro color edges.txt --json
     python -m repro info edges.txt
     python -m repro bench --smoke
     python -m repro bench --sweep --sizes 2000,20000,250000 --json out.json
+    python -m repro bench --sweep --workers 4 --batch 8
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
-from repro.core.deterministic import delta_coloring_deterministic
-from repro.core.randomized import RandomizedParams, delta_coloring_randomized
-from repro.core.special_cases import color_graph
-from repro.baselines.panconesi_srinivasan import ps_delta_coloring
+from repro.api import SolverConfig, list_algorithms, solve
+from repro.errors import GraphConstructionError, ReproError
 from repro.graphs.graph import Graph
 from repro.graphs.properties import girth_up_to, is_gallai_tree, is_nice
 
@@ -47,56 +53,82 @@ def load_edge_list(path: str) -> tuple[Graph, list[int]]:
     Node ids may be arbitrary integers; they are compacted to 0..n-1.
     Returns ``(graph, original_ids)`` where ``original_ids[i]`` is the id
     written back in the output for internal node i.
+
+    ``#`` starts a comment (full-line or trailing); blank lines are
+    skipped.  Malformed lines, self-loops, and duplicate edges raise
+    :class:`repro.errors.GraphConstructionError` naming the offending
+    ``path:line`` — bad inputs fail at parse time with a clear message
+    instead of surfacing as confusing downstream failures.
     """
     pairs: list[tuple[int, int]] = []
     ids: set[int] = set()
+    first_seen: dict[tuple[int, int], int] = {}
     for line_number, line in enumerate(Path(path).read_text().splitlines(), 1):
         stripped = line.split("#", 1)[0].strip()
         if not stripped:
             continue
         parts = stripped.split()
         if len(parts) != 2:
-            raise SystemExit(f"{path}:{line_number}: expected 'u v', got {line!r}")
-        u, v = int(parts[0]), int(parts[1])
+            raise GraphConstructionError(
+                f"{path}:{line_number}: expected 'u v', got {line!r}"
+            )
+        try:
+            u, v = int(parts[0]), int(parts[1])
+        except ValueError:
+            raise GraphConstructionError(
+                f"{path}:{line_number}: node ids must be integers, got {line!r}"
+            ) from None
+        if u == v:
+            raise GraphConstructionError(
+                f"{path}:{line_number}: self-loop at node {u} "
+                "(coloring graphs must be simple)"
+            )
+        key = (min(u, v), max(u, v))
+        if key in first_seen:
+            raise GraphConstructionError(
+                f"{path}:{line_number}: duplicate edge {u} {v} "
+                f"(first seen at line {first_seen[key]})"
+            )
+        first_seen[key] = line_number
         pairs.append((u, v))
         ids.add(u)
         ids.add(v)
     original_ids = sorted(ids)
     index = {node: i for i, node in enumerate(original_ids)}
-    seen: set[tuple[int, int]] = set()
-    edges = []
-    for u, v in pairs:
-        key = (min(index[u], index[v]), max(index[u], index[v]))
-        if key[0] != key[1] and key not in seen:
-            seen.add(key)
-            edges.append(key)
+    edges = [
+        (min(index[u], index[v]), max(index[u], index[v])) for u, v in pairs
+    ]
     return Graph(len(original_ids), edges), original_ids
 
 
 def _cmd_color(args: argparse.Namespace) -> int:
     graph, original_ids = load_edge_list(args.edges)
-    if args.algorithm == "auto":
-        result = color_graph(graph, seed=args.seed)
-        colors, rounds, palette = result.colors, result.rounds, result.num_colors
-        summary = f"components: {result.component_families}"
+    config = SolverConfig(algorithm=args.algorithm, seed=args.seed)
+    result = solve(graph, config)
+    if args.json:
+        payload = dict(result.as_dict())
+        payload["node_ids"] = original_ids
+        output = json.dumps(payload, indent=2) + "\n"
     else:
-        if args.algorithm == "deterministic":
-            res = delta_coloring_deterministic(graph)
-        elif args.algorithm == "ps":
-            res = ps_delta_coloring(graph, seed=args.seed)
-        else:  # randomized
-            res = delta_coloring_randomized(graph, RandomizedParams(seed=args.seed))
-        colors, rounds, palette = res.colors, res.rounds, graph.max_degree()
-        summary = f"phases: {res.phase_rounds}"
-    lines = [f"{original_ids[v]} {colors[v]}" for v in range(graph.n)]
-    output = "\n".join(lines) + "\n"
+        output = (
+            "\n".join(
+                f"{original_ids[v]} {result.colors[v]}" for v in range(graph.n)
+            )
+            + "\n"
+        )
     if args.output:
         Path(args.output).write_text(output)
     else:
         sys.stdout.write(output)
+    families = result.stats.get("component_families")
+    summary = (
+        f"components: {families}" if families is not None
+        else f"phases: {result.phase_rounds}"
+    )
     print(
-        f"# colored n={graph.n} m={graph.num_edges} with {palette} colors "
-        f"in {rounds} LOCAL rounds; {summary}",
+        f"# colored n={graph.n} m={graph.num_edges} with {result.palette} "
+        f"colors in {result.rounds} LOCAL rounds "
+        f"[{result.algorithm}, {result.wall_time_s:.3f}s]; {summary}",
         file=sys.stderr,
     )
     return 0
@@ -174,7 +206,11 @@ def _bench_smoke() -> int:
 
 
 def _bench_sweep(args: argparse.Namespace) -> int:
-    from repro.analysis.harness import HarnessReport, delta_coloring_sweep
+    from repro.analysis.harness import (
+        HarnessReport,
+        delta_coloring_sweep,
+        throughput_sweep,
+    )
 
     try:
         sweep_sizes = [int(s) for s in args.sizes.split(",") if s]
@@ -192,6 +228,19 @@ def _bench_sweep(args: argparse.Namespace) -> int:
             repeats=args.repeats,
         ),
     )
+    if args.workers > 1:
+        report.add(
+            f"solve_many batch={args.batch} workers={args.workers} Δ={args.delta}",
+            throughput_sweep(
+                sweep_sizes,
+                delta=args.delta,
+                seed=args.seed,
+                batch=args.batch,
+                workers=args.workers,
+                warmup=args.warmup,
+                repeats=args.repeats,
+            ),
+        )
     print(report.render())
     if args.json:
         written = report.write_json(args.json)
@@ -219,12 +268,18 @@ def build_parser() -> argparse.ArgumentParser:
     color.add_argument("edges", help="edge list file: one 'u v' per line")
     color.add_argument(
         "--algorithm",
-        choices=["auto", "randomized", "deterministic", "ps"],
+        choices=list_algorithms(),
         default="auto",
-        help="auto = per-component dispatch incl. non-nice components",
+        help="registry name; auto = per-instance dispatch incl. non-nice graphs",
     )
     color.add_argument("--seed", type=int, default=0)
-    color.add_argument("-o", "--output", help="write 'node color' lines here")
+    color.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full ColoringResult schema as JSON instead of "
+        "'node color' lines",
+    )
+    color.add_argument("-o", "--output", help="write the output here instead of stdout")
     color.set_defaults(func=_cmd_color)
 
     info = sub.add_parser("info", help="structural profile of a graph")
@@ -251,6 +306,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--warmup", type=int, default=1)
     bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="add a solve_many throughput sweep over this many processes",
+    )
+    bench.add_argument(
+        "--batch",
+        type=int,
+        default=4,
+        help="instances per size point for the --workers throughput sweep",
+    )
     bench.add_argument("--json", help="write the sweep report to this JSON path")
     bench.set_defaults(func=_cmd_bench)
 
@@ -273,7 +340,14 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except GraphConstructionError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

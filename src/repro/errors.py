@@ -15,6 +15,15 @@ class GraphError(ReproError):
     """Raised for malformed graph inputs (self-loops, bad edges, ...)."""
 
 
+class GraphConstructionError(GraphError):
+    """Raised when an external graph description (e.g. an edge-list file)
+    is malformed: unparsable lines, self-loops, duplicate edges.
+
+    Carries enough position information (``path:line``) for the caller to
+    fix the input without reading library internals.
+    """
+
+
 class ColoringError(ReproError):
     """Raised when a produced or supplied coloring violates a contract.
 

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import load_edge_list, main
+from repro.errors import GraphConstructionError
 from repro.graphs.generators import random_regular_graph
 from repro.graphs.validation import validate_coloring
 
@@ -34,17 +37,44 @@ class TestLoadEdgeList:
         assert graph.n == 3 and graph.num_edges == 3
         assert original_ids == [100, 200, 300]
 
-    def test_duplicates_and_self_loops_dropped(self, tmp_path):
+    def test_trailing_comment_allowed(self, tmp_path):
         path = tmp_path / "edges.txt"
-        path.write_text("0 1\n1 0\n1 1\n1 2\n")
+        path.write_text("0 1  # the first edge\n1 2\n\n# done\n")
         graph, _ = load_edge_list(str(path))
-        assert graph.num_edges == 2
+        assert graph.n == 3 and graph.num_edges == 2
+
+    def test_self_loop_rejected(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n1 1\n")
+        with pytest.raises(GraphConstructionError, match=r"edges.txt:2: self-loop"):
+            load_edge_list(str(path))
+
+    def test_duplicate_edge_rejected(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        # Reversed orientation is still the same undirected edge.
+        path.write_text("0 1\n1 2\n1 0\n")
+        with pytest.raises(
+            GraphConstructionError, match=r"edges.txt:3: duplicate edge 1 0"
+        ):
+            load_edge_list(str(path))
 
     def test_malformed_line_rejected(self, tmp_path):
         path = tmp_path / "edges.txt"
         path.write_text("0 1 2\n")
-        with pytest.raises(SystemExit):
+        with pytest.raises(GraphConstructionError, match=r"expected 'u v'"):
             load_edge_list(str(path))
+
+    def test_non_integer_ids_rejected(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphConstructionError, match="must be integers"):
+            load_edge_list(str(path))
+
+    def test_main_reports_bad_file_as_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "edges.txt"
+        path.write_text("3 3\n")
+        assert main(["color", str(path)]) == 2
+        assert "self-loop" in capsys.readouterr().err
 
 
 class TestColorCommand:
@@ -62,7 +92,10 @@ class TestColorCommand:
         colors = self._read_colors(out, graph)
         validate_coloring(graph, colors, max_colors=3)
 
-    @pytest.mark.parametrize("algorithm", ["randomized", "deterministic", "ps"])
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["randomized", "randomized-small", "deterministic", "ps", "slocal"],
+    )
     def test_explicit_algorithms(self, edge_file, tmp_path, algorithm):
         path, graph = edge_file
         out = tmp_path / "colors.txt"
@@ -70,11 +103,46 @@ class TestColorCommand:
         colors = self._read_colors(out, graph)
         validate_coloring(graph, colors, max_colors=3)
 
+    def test_greedy_uses_at_most_delta_plus_one(self, edge_file, tmp_path):
+        path, graph = edge_file
+        out = tmp_path / "colors.txt"
+        assert main(["color", str(path), "--algorithm", "greedy", "-o", str(out)]) == 0
+        colors = self._read_colors(out, graph)
+        validate_coloring(graph, colors, max_colors=4)
+
     def test_stdout_output(self, edge_file, capsys):
         path, graph = edge_file
         assert main(["color", str(path)]) == 0
         captured = capsys.readouterr()
         assert len(captured.out.splitlines()) == graph.n
+
+    def test_json_output(self, edge_file, tmp_path):
+        path, graph = edge_file
+        out = tmp_path / "result.json"
+        assert main(
+            ["color", str(path), "--json", "--seed", "3", "-o", str(out)]
+        ) == 0
+        payload = json.loads(out.read_text())
+        assert payload["n"] == graph.n
+        assert payload["algorithm"] == "randomized-small"
+        assert payload["seed"] == 3
+        assert payload["palette"] == 3
+        assert payload["node_ids"] == list(range(graph.n))
+        assert len(payload["colors"]) == graph.n
+        validate_coloring(graph, payload["colors"], max_colors=3)
+        assert payload["rounds"] == sum(payload["phase_rounds"].values())
+        assert payload["wall_time_s"] >= 0
+
+    def test_json_matches_library_result(self, edge_file, capsys):
+        """--json is ColoringResult.as_dict(), not a bespoke schema."""
+        from repro.api import solve
+
+        path, graph = edge_file
+        assert main(["color", str(path), "--json", "--seed", "1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        expected = solve(graph, algorithm="auto", seed=1).as_dict()
+        for key in ("algorithm", "colors", "rounds", "palette", "phase_rounds"):
+            assert payload[key] == expected[key]
 
 
 class TestInfoCommand:
