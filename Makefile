@@ -2,14 +2,25 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test check bench-smoke bench-sweep bench-million
+.PHONY: test check bench-smoke bench-sweep bench-million serve-smoke bench-service
 
 test:
 	$(PY) -m pytest -x -q
 
-# What CI runs: the tier-1 suite plus the bench-rot smoke pass, so the
-# solver facade and the bench harness cannot rot independently.
-check: test bench-smoke
+# What CI runs: the tier-1 suite, the bench-rot smoke pass, and the
+# service smoke (boot the TCP server, fire 50 mixed requests through
+# ColoringClient, assert validity + cache hits + load shedding), so the
+# solver facade, the bench harness, and the serving layer cannot rot
+# independently.
+check: test bench-smoke serve-smoke
+
+# Service smoke: real server + client over localhost TCP.
+serve-smoke:
+	$(PY) benchmarks/bench_s1_service.py --smoke
+
+# Full serving-layer load test (open-loop traffic; JSON in benchmarks/results/).
+bench-service:
+	$(PY) benchmarks/bench_s1_service.py --rate 100 --requests 300
 
 # CI rot check: every benchmarks/bench_e*.py at its single smallest size.
 bench-smoke:

@@ -12,38 +12,55 @@ This ablation sweeps both and reports T-node density and survival rate:
 the practical preset should sit near the density maximum, and density
 must fall off on both sides (p too small: nothing selected; p too large:
 everything backs off).
+
+Facade-native since PR 3: each point runs the full pipeline through
+:func:`repro.api.solve` with a :class:`RandomizedParams` override and
+reads the marking/shattering quantities from the result's
+``phase_stats`` — exactly what a phase observer would see — instead of
+hand-driving ``marking_process``/``build_happiness_layers``.  (On these
+high-girth workloads the DCC phases find nothing, so the marking runs on
+the whole graph, as the isolated probes did.)
 """
 
 from __future__ import annotations
 
-import random
-
 from common import cached_high_girth, emit
 from repro.analysis.experiments import sweep
-from repro.core.happiness import build_happiness_layers
-from repro.core.marking import default_selection_probability, marking_process
-from repro.graphs.validation import UNCOLORED
-from repro.local.rounds import RoundLedger
+from repro.api import SolverConfig, solve
+from repro.core.marking import default_selection_probability
+from repro.core.randomized import RandomizedParams
+
+
+def _run_pipeline(graph, *, backoff, seed, selection_p=None, happiness_radius=None):
+    config = SolverConfig(
+        algorithm="randomized",
+        validate=False,
+        params=RandomizedParams(
+            backoff=backoff,
+            selection_p=selection_p,
+            happiness_radius=happiness_radius,
+            seed=seed,
+        ),
+    )
+    return solve(graph, config)
 
 
 def build_backoff_table():
     def run(point, seed):
         backoff = point["b"]
         graph = cached_high_girth(3000, 3, 8, seed)
-        colors = [UNCOLORED] * graph.n
-        p = default_selection_probability(3, backoff)
-        marking = marking_process(
-            graph, set(range(graph.n)), colors, p, backoff,
-            random.Random(seed), RoundLedger(),
+        result = _run_pipeline(
+            graph, backoff=backoff, seed=seed, happiness_radius=8
         )
-        happiness = build_happiness_layers(
-            graph, colors, set(range(graph.n)), marking, 3, r=8, ledger=RoundLedger()
-        )
+        marking = result.phase_stats["4:marking"]
+        shattering = result.phase_stats["5:happiness-layers"]
         return {
-            "p_used*1e3": 1000 * p,
-            "t_per_1k": 1000 * len(marking.t_nodes) / graph.n,
-            "backed_off_%": 100 * marking.backed_off / max(1, marking.initially_selected),
-            "survival_%": 100 * len(happiness.leftover) / graph.n,
+            "p_used*1e3": 1000 * marking["selection_p"],
+            "t_per_1k": 1000 * marking["t_nodes"] / graph.n,
+            "backed_off_%": 100
+            * marking["backed_off"]
+            / max(1, marking["initially_selected"]),
+            "survival_%": 100 * shattering["leftover_nodes"] / graph.n,
         }
 
     table = sweep(
@@ -56,21 +73,25 @@ def build_backoff_table():
         "paper fixes b=6 (Δ>=4) / b=12 (Δ=3); b >= 5 is the structural floor "
         "(non-adjacent marks); larger b trades T-node density for stronger expansion"
     )
+    table.notes.append(
+        "measured in situ: full repro.api.solve runs, stats from phase_stats"
+    )
     return table
 
 
 def build_probability_table():
     def run(point, seed):
-        p = point["p"]
         graph = cached_high_girth(3000, 3, 8, seed)
-        colors = [UNCOLORED] * graph.n
-        marking = marking_process(
-            graph, set(range(graph.n)), colors, p, 6, random.Random(seed), RoundLedger()
+        result = _run_pipeline(
+            graph, backoff=6, seed=seed, selection_p=point["p"]
         )
+        marking = result.phase_stats["4:marking"]
         return {
-            "selected": marking.initially_selected,
-            "t_per_1k": 1000 * len(marking.t_nodes) / graph.n,
-            "backed_off_%": 100 * marking.backed_off / max(1, marking.initially_selected),
+            "selected": marking["initially_selected"],
+            "t_per_1k": 1000 * marking["t_nodes"] / graph.n,
+            "backed_off_%": 100
+            * marking["backed_off"]
+            / max(1, marking["initially_selected"]),
         }
 
     preset = default_selection_probability(3, 6)

@@ -7,6 +7,14 @@ Workload: color G−v from scratch (the genuine Theorem 5 precondition —
 uncoloring a properly colored node would trivially leave its old color
 free), then repair v and measure the radius of the recolored region and
 the number of recolored nodes, against the 2·log_{Δ-1} n bound.
+
+Facade-native since PR 3: the G−v base coloring goes through
+:func:`repro.api.solve` with the ``components`` dispatcher (which colors
+every component of the punctured graph with its own optimum — ≤ Δ colors
+whenever G was connected) instead of a hand-rolled per-component
+``degree_list_color`` loop.  The repair itself stays on
+:func:`repro.core.brooks.fix_uncolored_node`: single-node repair is the
+primitive under measurement and deliberately has no facade wrapper.
 """
 
 from __future__ import annotations
@@ -15,29 +23,35 @@ import random
 
 from common import emit, sizes
 from repro.analysis.experiments import sweep
+from repro.api import SolverConfig, solve
 from repro.core.brooks import default_fix_radius, fix_uncolored_node
-from repro.core.degree_choosable import degree_list_color
-from repro.errors import InfeasibleListColoringError
 from repro.graphs.generators import random_regular_graph
 from repro.graphs.validation import UNCOLORED, validate_coloring
 from repro.local.rounds import RoundLedger
 
 
 def _color_minus_v(graph, v, delta, rng):
+    """A proper ≤Δ-coloring of G−v (None when one doesn't exist, e.g. a
+    Δ-regular clique component in a disconnected instance).
+
+    The ``components`` dispatcher colors every graph (per-component
+    optimum), so engine errors are *not* swallowed here — a raise means a
+    genuine regression and should crash the bench; only a palette that
+    exceeds Δ is the legitimate "no Δ-coloring of G−v exists" outcome.
+    """
     colors = [UNCOLORED] * graph.n
     rest = [u for u in range(graph.n) if u != v]
     sub, originals = graph.subgraph(rest)
-    for component in sub.connected_components():
-        comp_orig = sorted(originals[i] for i in component)
-        sub2, orig2 = graph.subgraph(comp_orig)
-        try:
-            assignment = degree_list_color(
-                sub2, [set(range(1, delta + 1)) for _ in range(sub2.n)]
-            )
-        except InfeasibleListColoringError:
-            return None
-        for i, u in enumerate(orig2):
-            colors[u] = assignment[i]
+    result = solve(
+        sub,
+        SolverConfig(
+            algorithm="components", seed=rng.randrange(2**31), validate=True
+        ),
+    )
+    if result.palette > delta or max(result.colors, default=0) > delta:
+        return None
+    for i, u in enumerate(originals):
+        colors[u] = result.colors[i]
     for _ in range(4 * graph.n):
         u = rng.randrange(graph.n)
         if u == v:
@@ -85,6 +99,9 @@ def build_table():
     table = sweep("E5: Brooks repair locality (Thm 5)", points, run, seeds=(0, 1))
     table.notes.append(
         "claim: max_radius <= bound_2log = 2·log_{Δ-1} n + O(1) on every row"
+    )
+    table.notes.append(
+        "G−v base colorings via repro.api.solve(algorithm='components')"
     )
     return table
 

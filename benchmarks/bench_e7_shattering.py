@@ -12,38 +12,27 @@ Workload: high-girth cubic/4-regular graphs (B0 empty, everything goes
 through shattering).  We sweep the happiness radius and measure the
 survival fraction and the leftover component-size distribution against
 the log n yardstick.
+
+Facade-native since PR 3: each point is a full
+:func:`repro.api.solve` run with ``RandomizedParams(backoff=b,
+happiness_radius=r)``; survival and leftover-component shape come from
+the result's ``phase_stats`` ("5:happiness-layers" and
+"6:small-components") rather than from hand-driven
+``marking_process``/``build_happiness_layers`` calls.  Because these
+workloads are high-girth, the DCC phases remove nothing and the
+shattering machinery sees the whole graph — the same regime the isolated
+probes measured.
 """
 
 from __future__ import annotations
 
 import math
-import random
 
 import common
 from common import cached_high_girth, emit, sizes
 from repro.analysis.experiments import sweep
-from repro.core.happiness import build_happiness_layers
-from repro.core.marking import default_selection_probability, marking_process
-from repro.graphs.validation import UNCOLORED
-from repro.local.rounds import RoundLedger
-
-
-def _components_sizes(graph, members):
-    seen, sizes_out = set(), []
-    for start in members:
-        if start in seen:
-            continue
-        seen.add(start)
-        stack, size = [start], 1
-        while stack:
-            u = stack.pop()
-            for w in graph.adj[u]:
-                if w in members and w not in seen:
-                    seen.add(w)
-                    stack.append(w)
-                    size += 1
-        sizes_out.append(size)
-    return sizes_out
+from repro.api import SolverConfig, solve
+from repro.core.randomized import RandomizedParams
 
 
 def build_table():
@@ -58,21 +47,24 @@ def build_table():
         delta, r = point["delta"], point["r"]
         n, girth, backoff = configs[delta]
         graph = cached_high_girth(n, delta, girth, seed)
-        h_nodes = set(range(graph.n))
-        colors = [UNCOLORED] * graph.n
-        p = default_selection_probability(delta, backoff)
-        marking = marking_process(
-            graph, h_nodes, colors, p, backoff, random.Random(seed), RoundLedger()
+        result = solve(
+            graph,
+            SolverConfig(
+                algorithm="randomized",
+                validate=False,
+                params=RandomizedParams(
+                    backoff=backoff, happiness_radius=r, seed=seed
+                ),
+            ),
         )
-        happiness = build_happiness_layers(
-            graph, colors, h_nodes, marking, delta, r, RoundLedger()
-        )
-        component_sizes = _components_sizes(graph, happiness.leftover)
+        marking = result.phase_stats["4:marking"]
+        shattering = result.phase_stats["5:happiness-layers"]
+        leftover = result.phase_stats["6:small-components"]
         return {
-            "t_nodes": len(marking.t_nodes),
-            "survival_%": 100.0 * len(happiness.leftover) / graph.n,
-            "components": len(component_sizes),
-            "max_comp": max(component_sizes, default=0),
+            "t_nodes": marking["t_nodes"],
+            "survival_%": 100.0 * shattering["leftover_nodes"] / graph.n,
+            "components": leftover["leftover_components"],
+            "max_comp": leftover["leftover_max_component"],
         }
 
     points = [{"delta": d, "r": r} for d in (3, 4) for r in radii]
@@ -89,6 +81,9 @@ def build_table():
     )
     table.notes.append(
         f"configs (n, girth, backoff): {configs}; p = practical preset per (Δ, b)"
+    )
+    table.notes.append(
+        "measured in situ: full repro.api.solve runs, stats from phase_stats"
     )
     return table
 

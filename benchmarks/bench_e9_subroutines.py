@@ -8,6 +8,13 @@ Paper claims measured here:
   O(log n) rounds; the hybrid engine in O(log Δ) + small tail; the
   deterministic engine (Theorem 18 substitute) in exactly `palette` =
   O(Δ²) rounds independent of n.
+
+The per-engine probes isolate one (deg+1)-list instance — that
+isolation is the point, so they stay on the primitives.  Since PR 3
+the E9b table also reports ``pipe_rounds`` per engine: the total LOCAL
+rounds when the *same* engine runs in production position inside a full
+:func:`repro.api.solve` pipeline (``RandomizedParams(engine=...)``),
+tying the isolated shapes to end-to-end facade runs.
 """
 
 from __future__ import annotations
@@ -17,6 +24,8 @@ import random
 
 from common import emit, sizes
 from repro.analysis.experiments import Row, Table, sweep
+from repro.api import SolverConfig, solve
+from repro.core.randomized import RandomizedParams
 from repro.graphs.generators import random_regular_graph
 from repro.graphs.validation import UNCOLORED, validate_coloring
 from repro.local.rounds import RoundLedger
@@ -83,6 +92,15 @@ def build_list_coloring_table():
                 )
             validate_coloring(graph, colors, max_colors=delta + 1)
             out[f"{engine}_rounds"] = ledger.total_rounds
+            result = solve(
+                graph,
+                SolverConfig(
+                    algorithm="randomized-large",
+                    validate=False,
+                    params=RandomizedParams(engine=engine, seed=seed),
+                ),
+            )
+            out[f"{engine}_pipe_rounds"] = result.rounds
         return out
 
     table = sweep(
@@ -94,6 +112,10 @@ def build_list_coloring_table():
     table.notes.append(
         "shapes: random ~ O(log n) [PS-era]; hybrid ~ O(log Δ)+tail [Thm 19]; "
         "deterministic = palette = O(Δ²), n-independent [Thm 18 substitute]"
+    )
+    table.notes.append(
+        "*_pipe_rounds: total rounds of a full repro.api.solve run with the "
+        "same engine in production position (RandomizedParams(engine=...))"
     )
     ln = [math.log2(row.params["n"]) for row in table.rows]
     table.notes.append(f"log2(n) per row: {[round(x, 1) for x in ln]}")

@@ -92,3 +92,27 @@ class SolverConfig:
             "ruling_k": self.ruling_k,
             "order": list(self.order) if self.order is not None else None,
         }
+
+    def fingerprint_payload(self) -> dict[str, Any]:
+        """The *result-affecting* fields, canonically ordered.
+
+        This is the config half of a request fingerprint
+        (:func:`repro.service.fingerprint.request_fingerprint`): two
+        configs with equal payloads produce bit-identical colorings on
+        the same graph.  ``validate`` and ``on_phase`` are deliberately
+        excluded — they never change the colors — and so is ``strict``
+        (both the config flag and the field inside ``params``): strict
+        mode only adds contract assertions without touching the rng
+        stream (see :func:`repro.api.registry._effective_params`), so it
+        must not fragment a result cache.
+        """
+        params = dataclasses.asdict(self.params) if self.params else None
+        if params is not None:
+            params.pop("strict", None)
+        return {
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "params": params,
+            "ruling_k": self.ruling_k,
+            "order": list(self.order) if self.order is not None else None,
+        }

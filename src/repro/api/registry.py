@@ -136,7 +136,7 @@ RANDOMIZED_PHASE_KEYS: dict[str, tuple[str, ...]] = {
     "1:dcc-detect": ("num_dccs", "nodes_in_dccs"),
     "2:dcc-ruling-set": ("b0_components", "b0_size", "virtual_ruling_iterations"),
     "3:b-layers": ("h_size",),
-    "4:marking": ("selection_p", "t_nodes", "marked", "backed_off"),
+    "4:marking": ("selection_p", "t_nodes", "marked", "initially_selected", "backed_off"),
     "5:happiness-layers": (
         "happiness_radius", "c_layers", "leftover_nodes", "uncolored_marks",
     ),

@@ -13,6 +13,8 @@ wrappers.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
@@ -84,6 +86,20 @@ class ColoringResult:
     def num_colors_used(self) -> int:
         """Distinct colors actually present (≤ ``palette``)."""
         return len(set(self.colors))
+
+    def content_digest(self) -> str:
+        """SHA-256 over the canonical JSON of :meth:`as_dict` minus
+        ``wall_time_s``.
+
+        Two results are *the same solve outcome* iff their digests match;
+        wall time is excluded because it is measurement noise, not
+        content.  The result cache uses this to assert that a cached
+        result is bit-identical to a fresh solve of the same request.
+        """
+        payload = self.as_dict()
+        payload.pop("wall_time_s", None)
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def as_dict(self) -> dict[str, Any]:
         """A JSON-serialisable dict; inverse of :meth:`from_dict`."""

@@ -10,6 +10,10 @@ Gives downstream users a zero-code path to the library:
   (``repro.api.list_algorithms()``); the default ``auto`` picks per
   instance and handles arbitrary graphs (nice components get Δ colors,
   Brooks' exceptions get their optimum).
+* ``serve`` — run the newline-delimited-JSON coloring service
+  (:mod:`repro.service`): an asyncio TCP gateway that fingerprints,
+  caches, micro-batches and load-sheds solve requests over a warmed
+  :class:`repro.api.SolverPool`.  See docs/SERVICE.md for the protocol.
 * ``demo`` — run one of the bundled example scenarios.
 * ``info`` — parse a graph and print its structural profile (Δ, girth
   probe, niceness, Gallai-tree status, component count).
@@ -30,6 +34,7 @@ Examples::
     python -m repro bench --smoke
     python -m repro bench --sweep --sizes 2000,20000,250000 --json out.json
     python -m repro bench --sweep --workers 4 --batch 8
+    python -m repro serve --port 8512 --workers 2 --max-queue 128
 """
 
 from __future__ import annotations
@@ -59,40 +64,46 @@ def load_edge_list(path: str) -> tuple[Graph, list[int]]:
     :class:`repro.errors.GraphConstructionError` naming the offending
     ``path:line`` — bad inputs fail at parse time with a clear message
     instead of surfacing as confusing downstream failures.
+
+    The file is streamed line by line (never materialised as one
+    string), so peak memory on large uploads — the service ingest path —
+    is the parsed edge list, not the edge list plus its text.
     """
     pairs: list[tuple[int, int]] = []
     ids: set[int] = set()
     first_seen: dict[tuple[int, int], int] = {}
-    for line_number, line in enumerate(Path(path).read_text().splitlines(), 1):
-        stripped = line.split("#", 1)[0].strip()
-        if not stripped:
-            continue
-        parts = stripped.split()
-        if len(parts) != 2:
-            raise GraphConstructionError(
-                f"{path}:{line_number}: expected 'u v', got {line!r}"
-            )
-        try:
-            u, v = int(parts[0]), int(parts[1])
-        except ValueError:
-            raise GraphConstructionError(
-                f"{path}:{line_number}: node ids must be integers, got {line!r}"
-            ) from None
-        if u == v:
-            raise GraphConstructionError(
-                f"{path}:{line_number}: self-loop at node {u} "
-                "(coloring graphs must be simple)"
-            )
-        key = (min(u, v), max(u, v))
-        if key in first_seen:
-            raise GraphConstructionError(
-                f"{path}:{line_number}: duplicate edge {u} {v} "
-                f"(first seen at line {first_seen[key]})"
-            )
-        first_seen[key] = line_number
-        pairs.append((u, v))
-        ids.add(u)
-        ids.add(v)
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            stripped = line.split("#", 1)[0].strip()
+            if not stripped:
+                continue
+            parts = stripped.split()
+            if len(parts) != 2:
+                raise GraphConstructionError(
+                    f"{path}:{line_number}: expected 'u v', got {line.rstrip()!r}"
+                )
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError:
+                raise GraphConstructionError(
+                    f"{path}:{line_number}: node ids must be integers, "
+                    f"got {line.rstrip()!r}"
+                ) from None
+            if u == v:
+                raise GraphConstructionError(
+                    f"{path}:{line_number}: self-loop at node {u} "
+                    "(coloring graphs must be simple)"
+                )
+            key = (min(u, v), max(u, v))
+            if key in first_seen:
+                raise GraphConstructionError(
+                    f"{path}:{line_number}: duplicate edge {u} {v} "
+                    f"(first seen at line {first_seen[key]})"
+                )
+            first_seen[key] = line_number
+            pairs.append((u, v))
+            ids.add(u)
+            ids.add(v)
     original_ids = sorted(ids)
     index = {node: i for i, node in enumerate(original_ids)}
     edges = [
@@ -248,6 +259,47 @@ def _bench_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.cache import ResultCache
+    from repro.service.server import ColoringServer
+
+    cache = ResultCache(
+        max_entries=args.cache_entries,
+        max_bytes=args.cache_bytes if args.cache_bytes > 0 else None,
+        ttl_s=args.cache_ttl if args.cache_ttl and args.cache_ttl > 0 else None,
+    )
+    server = ColoringServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache=cache,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1000.0,
+        max_queue=args.max_queue,
+    )
+
+    async def _serve() -> None:
+        host, port = await server.start()
+        print(
+            f"# repro service listening on {host}:{port} "
+            f"[workers={args.workers} max_batch={args.max_batch} "
+            f"max_queue={args.max_queue} cache_entries={args.cache_entries}]",
+            file=sys.stderr,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("# repro service stopped", file=sys.stderr)
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     import importlib
 
@@ -320,6 +372,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--json", help="write the sweep report to this JSON path")
     bench.set_defaults(func=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve", help="run the NDJSON coloring service (see docs/SERVICE.md)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8512, help="0 = ephemeral")
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="solver process-pool width (1 = solve in-thread)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=8,
+        help="micro-batch size cap for the request gateway",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="how long a micro-batch waits for stragglers",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=64,
+        help="outstanding-request bound; beyond it requests are rejected",
+    )
+    serve.add_argument("--cache-entries", type=int, default=1024)
+    serve.add_argument(
+        "--cache-bytes", type=int, default=256 * 1024 * 1024,
+        help="result-cache byte bound (<= 0 disables byte-based eviction)",
+    )
+    serve.add_argument(
+        "--cache-ttl", type=float, default=0.0,
+        help="result TTL in seconds (<= 0 = entries never expire)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     demo = sub.add_parser("demo", help="run a bundled example")
     demo.add_argument(

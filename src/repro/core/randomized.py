@@ -226,6 +226,7 @@ def delta_coloring_randomized(
     stats["selection_p"] = p
     stats["t_nodes"] = len(marking.t_nodes)
     stats["marked"] = len(marking.marked)
+    stats["initially_selected"] = marking.initially_selected
     stats["backed_off"] = marking.backed_off
 
     # Phase (5): happiness layers.

@@ -55,6 +55,20 @@ class InfeasibleListColoringError(ReproError):
     """
 
 
+class ServiceOverloadedError(ReproError):
+    """Raised by the serving gateway when the request queue is full.
+
+    Load shedding is explicit: a request that cannot be admitted fails
+    immediately with this error instead of queueing unboundedly (clients
+    see a structured ``overloaded`` reply and may retry with backoff).
+    """
+
+
+class ServiceProtocolError(ReproError):
+    """Raised for malformed service requests/replies (bad JSON, missing
+    fields, out-of-range graph payloads)."""
+
+
 class AlgorithmContractError(ReproError):
     """Raised in strict mode when an internal per-phase invariant fails.
 

@@ -1,0 +1,62 @@
+"""repro.service — the production coloring service layer.
+
+Turns the PR 2 solver facade into a *served* system: requests per second,
+tail latency, and cache hit rate become first-class measured quantities.
+
+* :mod:`repro.service.fingerprint` — content-addressed request hashes
+  (canonical CSR + result-affecting config fields);
+* :mod:`repro.service.cache` — LRU+TTL :class:`ResultCache` of frozen
+  :class:`repro.api.ColoringResult` objects with hit/miss/eviction and
+  byte accounting;
+* :mod:`repro.service.batcher` — :class:`BatchingGateway`, the asyncio
+  admission/coalescing/micro-batching front over a warmed
+  :class:`repro.api.SolverPool`, with bounded queue depth and explicit
+  load shedding (:class:`repro.errors.ServiceOverloadedError`);
+* :mod:`repro.service.metrics` — :class:`ServiceMetrics` latency
+  histograms (p50/p95/p99), QPS and queue depth, one JSON snapshot;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  newline-delimited-JSON TCP protocol (:class:`ColoringServer`,
+  :class:`ColoringClient`, :class:`AsyncColoringClient`).
+
+Quick start::
+
+    # terminal 1
+    $ python -m repro serve --port 8512 --workers 2
+
+    # terminal 2 (or any script)
+    from repro.service import ColoringClient
+    with ColoringClient(port=8512) as client:
+        reply = client.solve(graph, algorithm="auto", seed=1)
+        print(reply.result.palette, reply.cached)
+
+See docs/SERVICE.md for the protocol, cache semantics and the
+determinism guarantee (a cached result is bit-identical to a fresh
+solve).
+"""
+
+from repro.service.batcher import BatchingGateway, GatewayReply
+from repro.service.cache import CacheStats, ResultCache
+from repro.service.client import AsyncColoringClient, ColoringClient, SolveReply
+from repro.service.fingerprint import (
+    config_fingerprint,
+    graph_fingerprint,
+    request_fingerprint,
+)
+from repro.service.metrics import LatencyWindow, ServiceMetrics
+from repro.service.server import ColoringServer
+
+__all__ = [
+    "BatchingGateway",
+    "GatewayReply",
+    "ResultCache",
+    "CacheStats",
+    "ServiceMetrics",
+    "LatencyWindow",
+    "ColoringServer",
+    "ColoringClient",
+    "AsyncColoringClient",
+    "SolveReply",
+    "graph_fingerprint",
+    "config_fingerprint",
+    "request_fingerprint",
+]

@@ -1,0 +1,372 @@
+"""The asyncio request gateway: admission, coalescing, micro-batching.
+
+Request lifecycle (``await gateway.submit(graph, config)``):
+
+1. **Fingerprint** the request (:mod:`repro.service.fingerprint`).
+2. **Cache probe** — a hit returns the frozen cached result immediately
+   (bit-identical to a fresh solve; the cache stores pure-function
+   outputs).
+3. **Coalesce** — if the same fingerprint is already being solved, the
+   request attaches to the in-flight future instead of solving twice.
+4. **Admission** — if the number of outstanding (admitted, uncompleted)
+   requests has reached ``max_queue``, the request is rejected *now*
+   with :class:`repro.errors.ServiceOverloadedError`.  Load shedding is
+   explicit; nothing queues unboundedly and nothing hangs.
+5. **Micro-batch** — a dispatcher task drains the queue into batches of
+   up to ``max_batch`` requests, waiting at most ``max_wait_s`` for
+   stragglers once the first request of a batch arrives, and runs each
+   batch through :func:`repro.api.solve_many` on the gateway's warmed
+   :class:`repro.api.SolverPool` (in a worker thread, so the event loop
+   keeps accepting requests while engines run).
+
+Failure isolation: a request whose engine raises (e.g. a clique sent to
+an algorithm that needs a *nice* graph) fails only its own future — the
+batch it rode in falls back to per-request solves, and the pool and
+dispatcher keep serving (see ``tests/test_service.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.api.config import SolverConfig
+from repro.api.result import ColoringResult
+from repro.api.solver import SolverPool, solve_many
+from repro.errors import ServiceOverloadedError
+from repro.graphs.graph import Graph
+from repro.service.cache import ResultCache
+from repro.service.fingerprint import config_fingerprint, request_fingerprint
+from repro.service.metrics import ServiceMetrics
+
+__all__ = ["BatchingGateway", "GatewayReply"]
+
+
+@dataclass(frozen=True)
+class GatewayReply:
+    """What one admitted request resolves to."""
+
+    result: ColoringResult
+    cached: bool
+    fingerprint: str
+
+
+class _Pending:
+    __slots__ = ("fingerprint", "graph", "config", "config_key", "future")
+
+    def __init__(self, fingerprint, graph, config, config_key, future):
+        self.fingerprint = fingerprint
+        self.graph = graph
+        self.config = config
+        self.config_key = config_key
+        self.future = future
+
+
+class BatchingGateway:
+    """Coalescing micro-batch dispatcher over a warmed solver pool.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool width for :func:`repro.api.solve_many`; ``1`` keeps
+        solves in the dispatcher's worker thread (no process hop), which
+        is the right default on single-CPU containers.
+    cache / metrics:
+        Injectable for tests and for sharing with the TCP server's stats
+        endpoint; fresh instances are created when omitted.
+    max_batch:
+        Micro-batch size cap.
+    max_wait_s:
+        How long a batch holds the door open for stragglers after its
+        first request arrives.  Zero disables coalescing-by-time (each
+        drain takes whatever is queued right then).
+    max_queue:
+        Bound on outstanding admitted requests; admission beyond it
+        raises :class:`ServiceOverloadedError`.
+    max_followers:
+        Bound on concurrently *coalesced* waiters (duplicate-fingerprint
+        requests attached to an in-flight solve).  Followers cost no
+        solve work but each holds its request payload, so they are
+        bounded too; default ``8 * max_queue``.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        cache: ResultCache | None = None,
+        metrics: ServiceMetrics | None = None,
+        max_batch: int = 8,
+        max_wait_s: float = 0.002,
+        max_queue: int = 64,
+        max_followers: int | None = None,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if max_followers is not None and max_followers < 1:
+            raise ValueError(f"max_followers must be >= 1, got {max_followers}")
+        self.cache = cache if cache is not None else ResultCache()
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.max_batch = max_batch
+        self.max_wait_s = max(0.0, max_wait_s)
+        self.max_queue = max_queue
+        self.max_followers = (
+            max_followers if max_followers is not None else 8 * max_queue
+        )
+        self.workers = workers
+        self._pool = SolverPool(workers) if workers > 1 else None
+        self._queue: deque[_Pending] = deque()
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._outstanding = 0
+        self._followers = 0
+        self.coalesced = 0
+        self._wake = asyncio.Event()
+        self._running = True
+        self._dispatcher: asyncio.Task | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def warm(self) -> "BatchingGateway":
+        """Spawn and warm the process pool outside any timed region."""
+        if self._pool is not None:
+            self._pool.warm()
+        return self
+
+    def _ensure_dispatcher(self) -> None:
+        if self._dispatcher is None or self._dispatcher.done():
+            self._dispatcher = asyncio.get_running_loop().create_task(
+                self._dispatch_loop()
+            )
+
+    async def close(self) -> None:
+        """Drain the queue, stop the dispatcher, shut the pool down."""
+        self._running = False
+        self._wake.set()
+        if self._dispatcher is not None:
+            await self._dispatcher
+            self._dispatcher = None
+        if self._pool is not None:
+            self._pool.close()
+
+    async def __aenter__(self) -> "BatchingGateway":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- request path ------------------------------------------------------
+
+    async def submit(
+        self,
+        graph: "Graph | Callable[[], Graph]",
+        config: SolverConfig | None = None,
+        *,
+        fingerprint: str | None = None,
+    ) -> GatewayReply:
+        """Resolve one request through cache / coalescing / batched solve.
+
+        ``graph`` may be a :class:`Graph` or a zero-arg callable building
+        one; a callable requires an explicit ``fingerprint`` and is only
+        invoked — off the event loop — when the request actually needs a
+        solve.  The TCP server uses this to answer cache hits without
+        paying graph construction and validation
+        (:func:`repro.service.fingerprint.edge_keys_fingerprint` hashes
+        the raw payload).
+
+        Raises :class:`ServiceOverloadedError` immediately when the
+        outstanding-request bound is hit, and re-raises the engine's own
+        error (or the factory's construction error) if the solve fails.
+        """
+        config = (config or SolverConfig()).without_observer()
+        started = time.perf_counter()
+        if fingerprint is None:
+            if callable(graph):
+                raise ValueError("a lazy graph factory needs an explicit fingerprint")
+            if graph.num_edges > 100_000:
+                # the canonical hash is an O(m) pure-Python walk — keep
+                # million-edge in-process submissions off the event loop
+                fingerprint = await asyncio.get_running_loop().run_in_executor(
+                    None, request_fingerprint, graph, config
+                )
+            else:
+                fingerprint = request_fingerprint(graph, config)
+        hit = self.cache.get(fingerprint)
+        if hit is not None:
+            self.metrics.record_request(time.perf_counter() - started, cached=True)
+            return GatewayReply(result=hit, cached=True, fingerprint=fingerprint)
+
+        shared = self._inflight.get(fingerprint)
+        if shared is not None:
+            if self._followers >= self.max_followers:
+                self.metrics.record_rejected()
+                raise ServiceOverloadedError(
+                    f"too many requests waiting on in-flight duplicates "
+                    f"({self._followers}/{self.max_followers}); retry with backoff"
+                )
+            self.coalesced += 1
+            self._followers += 1
+            try:
+                result = await asyncio.shield(shared)
+            except asyncio.CancelledError:
+                raise  # this follower itself was cancelled, not failed
+            except BaseException:
+                self.metrics.record_failed()  # every follower saw the failure
+                raise
+            finally:
+                self._followers -= 1
+            self.metrics.record_request(
+                time.perf_counter() - started, cached=False, coalesced=True
+            )
+            return GatewayReply(result=result, cached=False, fingerprint=fingerprint)
+
+        if self._outstanding >= self.max_queue:
+            self.metrics.record_rejected()
+            raise ServiceOverloadedError(
+                f"request queue full ({self._outstanding}/{self.max_queue} "
+                "outstanding); retry with backoff"
+            )
+
+        # One future carries the request from here on: registered before
+        # any await so concurrent duplicates coalesce onto it, reserved
+        # against the queue bound before construction begins.
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[fingerprint] = future
+        self._outstanding += 1
+        self.metrics.set_queue_depth(self._outstanding)
+
+        if callable(graph):
+            # Build + validate off the event loop (only misses pay this).
+            # BaseException matters: a CancelledError here (caller timeout,
+            # server shutdown) must release the queue slot and resolve the
+            # in-flight future, or followers hang and capacity leaks.
+            try:
+                graph = await asyncio.get_running_loop().run_in_executor(None, graph)
+            except BaseException as exc:
+                self._outstanding -= 1
+                self._inflight.pop(fingerprint, None)
+                self.metrics.record_failed()
+                self.metrics.set_queue_depth(self._outstanding)
+                if not future.done():
+                    # followers get a retryable error, not the leader's
+                    # CancelledError (they were not cancelled themselves)
+                    future.set_exception(
+                        ServiceOverloadedError(
+                            "in-flight request was cancelled; retry"
+                        )
+                        if isinstance(exc, asyncio.CancelledError)
+                        else exc
+                    )
+                    future.exception()  # coalesced followers still see it;
+                    # retrieving here silences the never-retrieved warning
+                raise
+
+        pending = _Pending(
+            fingerprint, graph, config, config_fingerprint(config), future
+        )
+        self._queue.append(pending)
+        self.metrics.set_queue_depth(self._outstanding)
+        self._ensure_dispatcher()
+        self._wake.set()
+        try:
+            result = await asyncio.shield(future)
+        finally:
+            if future.done() and self._inflight.get(fingerprint) is future:
+                del self._inflight[fingerprint]
+        self.metrics.record_request(time.perf_counter() - started, cached=False)
+        return GatewayReply(result=result, cached=False, fingerprint=fingerprint)
+
+    # -- dispatcher --------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            while not self._queue:
+                if not self._running:
+                    return
+                self._wake.clear()
+                await self._wake.wait()
+            batch = [self._queue.popleft()]
+            deadline = loop.time() + self.max_wait_s
+            while len(batch) < self.max_batch:
+                if self._queue:
+                    batch.append(self._queue.popleft())
+                    continue
+                remaining = deadline - loop.time()
+                if remaining <= 0 or not self._running:
+                    break
+                self._wake.clear()
+                try:
+                    await asyncio.wait_for(self._wake.wait(), remaining)
+                except asyncio.TimeoutError:
+                    break
+            self.metrics.record_batch(len(batch))
+            outcomes = await loop.run_in_executor(None, self._solve_batch, batch)
+            for pending, outcome in outcomes:
+                self._outstanding -= 1
+                self._inflight.pop(pending.fingerprint, None)
+                if isinstance(outcome, BaseException):
+                    self.metrics.record_failed()
+                    if not pending.future.done():
+                        pending.future.set_exception(outcome)
+                else:
+                    self.cache.put(pending.fingerprint, outcome)
+                    if not pending.future.done():
+                        pending.future.set_result(outcome)
+            self.metrics.set_queue_depth(self._outstanding)
+
+    def _solve_batch(self, batch: list[_Pending]) -> list[tuple[_Pending, object]]:
+        """Runs in a worker thread: one ``solve_many`` per config group.
+
+        ``solve_many`` takes a single config for the whole batch, so the
+        micro-batch is grouped by config fingerprint (in practice service
+        traffic is config-uniform and this is one group).  A group whose
+        batched solve raises falls back to per-request solves so one bad
+        request cannot fail its batchmates.
+        """
+        groups: dict[str, list[_Pending]] = {}
+        for pending in batch:
+            groups.setdefault(pending.config_key, []).append(pending)
+        outcomes: list[tuple[_Pending, object]] = []
+        for group in groups.values():
+            graphs = [p.graph for p in group]
+            config = group[0].config
+            try:
+                results = solve_many(graphs, config, pool=self._pool)
+                outcomes.extend(zip(group, results))
+            except Exception:
+                # executor.map loses the group's completed results when one
+                # task raises, so the whole group re-solves one-by-one —
+                # still through the pool, so process isolation (and any
+                # already-warm workers) is kept.  Rare path: only batches
+                # containing a failing request pay it.
+                for pending in group:
+                    try:
+                        result = solve_many(
+                            [pending.graph], pending.config, pool=self._pool
+                        )[0]
+                        outcomes.append((pending, result))
+                    except Exception as exc:
+                        outcomes.append((pending, exc))
+        return outcomes
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Gateway-level counters merged with cache and metrics snapshots."""
+        return {
+            "workers": self.workers,
+            "max_batch": self.max_batch,
+            "max_wait_ms": round(1000 * self.max_wait_s, 3),
+            "max_queue": self.max_queue,
+            "max_followers": self.max_followers,
+            "outstanding": self._outstanding,
+            "followers": self._followers,
+            "coalesced": self.coalesced,
+            "cache": self.cache.stats().as_dict(),
+            "metrics": self.metrics.snapshot(),
+        }

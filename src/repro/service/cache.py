@@ -1,0 +1,203 @@
+"""LRU + TTL result cache keyed by request fingerprint.
+
+Stores frozen :class:`repro.api.ColoringResult` objects under the
+content-addressed keys of :mod:`repro.service.fingerprint`.  Because a
+solve is a pure function of ``(graph, config)``, a cached result is
+bit-identical to what a fresh solve would return (the serve-smoke suite
+asserts this via :meth:`ColoringResult.content_digest`), so hits are
+semantically invisible — they only remove latency.
+
+Eviction is two-policy:
+
+* **LRU by capacity** — both an entry count bound and a byte bound
+  (results carry an O(n) color vector; byte accounting is what actually
+  protects a serving process from a few million-node results evicting
+  nothing).  Insertion evicts least-recently-used entries until both
+  bounds hold.
+* **TTL** — entries older than ``ttl_s`` are dropped on access or
+  insertion sweep.  ``ttl_s=None`` disables expiry (results never go
+  stale — the instance is content-addressed — but operators may want
+  bounded staleness anyway when engines are re-registered in place).
+
+Thread-safe: the gateway reads from the event loop while solves complete
+in worker threads, so every public method takes the internal lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from repro.api.result import ColoringResult
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+def estimate_result_nbytes(result: ColoringResult) -> int:
+    """Approximate in-memory footprint of one cached result.
+
+    Dominated by the color tuple (one boxed int per node); the flat/phase
+    stats dicts are bounded per algorithm, so a fixed overhead plus a
+    small per-key charge is accurate enough for eviction accounting.
+    """
+    stats_keys = len(result.stats) + sum(
+        1 + len(v) for v in result.phase_stats.values()
+    )
+    return 256 + 32 * len(result.colors) + 96 * (stats_keys + len(result.phase_rounds))
+
+
+@dataclass
+class CacheStats:
+    """Monotonic counters plus current occupancy, snapshot-able to JSON."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions_lru: int = 0
+    evictions_ttl: int = 0
+    entries: int = 0
+    bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions_lru": self.evictions_lru,
+            "evictions_ttl": self.evictions_ttl,
+            "entries": self.entries,
+            "bytes": self.bytes,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class _Entry:
+    __slots__ = ("result", "expires_at", "nbytes")
+
+    def __init__(self, result: ColoringResult, expires_at: float | None, nbytes: int):
+        self.result = result
+        self.expires_at = expires_at
+        self.nbytes = nbytes
+
+
+class ResultCache:
+    """An LRU+TTL map ``fingerprint -> ColoringResult`` with accounting.
+
+    Parameters
+    ----------
+    max_entries:
+        Entry-count bound (≥ 1).
+    max_bytes:
+        Byte bound on the summed :func:`estimate_result_nbytes` of all
+        entries; ``None`` disables byte-based eviction.
+    ttl_s:
+        Per-entry time-to-live in seconds; ``None`` disables expiry.
+    clock:
+        Injectable monotonic clock (tests freeze time through this).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 1024,
+        max_bytes: int | None = 256 * 1024 * 1024,
+        ttl_s: float | None = None,
+        clock=time.monotonic,
+    ):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        self._stats = CacheStats()
+
+    def get(self, key: str) -> ColoringResult | None:
+        """The cached result for ``key``, or None (miss or expired)."""
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.expires_at is not None and now >= entry.expires_at:
+                self._drop(key, entry, "ttl")
+                entry = None
+            if entry is None:
+                self._stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._stats.hits += 1
+            return entry.result
+
+    def put(self, key: str, result: ColoringResult) -> None:
+        """Insert (or refresh) ``key``, evicting until both bounds hold."""
+        now = self._clock()
+        expires_at = now + self.ttl_s if self.ttl_s is not None else None
+        entry = _Entry(result, expires_at, estimate_result_nbytes(result))
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._stats.bytes -= old.nbytes
+            self._entries[key] = entry
+            self._stats.puts += 1
+            self._stats.bytes += entry.nbytes
+            self._stats.entries = len(self._entries)
+            self._expire_locked(now)
+            while len(self._entries) > self.max_entries or (
+                self.max_bytes is not None
+                and self._stats.bytes > self.max_bytes
+                and len(self._entries) > 1
+            ):
+                victim_key, victim = next(iter(self._entries.items()))
+                self._drop(victim_key, victim, "lru")
+
+    def _expire_locked(self, now: float) -> None:
+        if self.ttl_s is None:
+            return
+        expired = [
+            (k, e) for k, e in self._entries.items()
+            if e.expires_at is not None and now >= e.expires_at
+        ]
+        for key, entry in expired:
+            self._drop(key, entry, "ttl")
+
+    def _drop(self, key: str, entry: _Entry, reason: str) -> None:
+        self._entries.pop(key, None)
+        self._stats.bytes -= entry.nbytes
+        self._stats.entries = len(self._entries)
+        if reason == "ttl":
+            self._stats.evictions_ttl += 1
+        else:
+            self._stats.evictions_lru += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            if entry.expires_at is not None and self._clock() >= entry.expires_at:
+                return False
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._stats.entries = 0
+            self._stats.bytes = 0
+
+    def stats(self) -> CacheStats:
+        """A snapshot copy of the counters (safe to mutate)."""
+        with self._lock:
+            self._stats.entries = len(self._entries)
+            return CacheStats(**vars(self._stats))

@@ -1,0 +1,105 @@
+"""Content-addressed request fingerprints for the coloring service.
+
+A *request* is a pair ``(graph, config)``.  The service recognises a
+repeated request — and serves it from the result cache — by hashing a
+canonical byte encoding of both halves:
+
+* **Graph half** — the sorted multiset of packed edge keys
+  ``(min(u,v) << 32) | max(u,v)`` plus the node count, so the
+  fingerprint is invariant under edge order and edge orientation in the
+  request payload.  Payload node ids are compacted to ``0..n-1`` in
+  ascending id order before hashing (the same normalisation
+  :func:`repro.cli.load_edge_list` applies), so any *order-preserving*
+  relabeling of the ids — shifting, scaling, sparse ids — maps to the
+  same fingerprint.  Arbitrary isomorphism is **not** attempted
+  (canonical labeling is graph-isomorphism-hard); a permutation that
+  reorders nodes is a different instance and solves fresh.
+
+  The encoding is computable from a raw request payload *without*
+  constructing a :class:`Graph` — that is what lets the server answer
+  cache hits without paying graph construction and validation
+  (:func:`edge_keys_fingerprint` is the shared core; payloads with
+  self-loops or duplicate edges hash to keys no valid graph can
+  produce, so they can never collide with a cached result).
+* **Config half** — :meth:`repro.api.SolverConfig.fingerprint_payload`,
+  the result-affecting fields only (``validate``/``on_phase``/``strict``
+  never change the colors and are excluded, so observability settings
+  don't fragment the cache).
+
+Determinism contract: every registered solve is a pure function of
+``(graph, config)`` (see docs/API.md), so equal fingerprints imply
+bit-identical :class:`repro.api.ColoringResult` contents — which is what
+makes serving from the cache semantically invisible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from array import array
+from collections.abc import Iterable
+
+from repro.api.config import SolverConfig
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "graph_fingerprint",
+    "edge_keys_fingerprint",
+    "config_fingerprint",
+    "request_fingerprint",
+    "combine_fingerprints",
+]
+
+
+def edge_keys_fingerprint(n: int, edge_keys: Iterable[int]) -> str:
+    """SHA-256 of ``n`` plus the sorted packed-edge-key multiset.
+
+    ``edge_keys`` are ``(min(u,v) << 32) | max(u,v)`` packed ints with
+    ``0 <= u, v < 2**31``.  Sorting happens here, so callers may pass
+    keys in any order; duplicates are hashed as-is (a payload with a
+    duplicate edge therefore cannot collide with any simple graph).
+    """
+    keys = sorted(edge_keys)
+    hasher = hashlib.sha256()
+    hasher.update(b"g2:")  # encoding version tag
+    hasher.update(n.to_bytes(8, "little"))
+    hasher.update(array("q", keys).tobytes())
+    return hasher.hexdigest()
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Canonical content hash of a constructed :class:`Graph`.
+
+    Identical to what :func:`edge_keys_fingerprint` produces for the
+    graph's edge multiset — the server relies on this equivalence to
+    hash raw payloads without building the graph first.
+    """
+    offsets, indices = graph.csr()
+    flat = indices.tolist()
+    keys = []
+    for u in range(graph.n):
+        for pos in range(offsets[u], offsets[u + 1]):
+            w = flat[pos]
+            if w > u:
+                keys.append((u << 32) | w)
+    return edge_keys_fingerprint(graph.n, keys)
+
+
+def config_fingerprint(config: SolverConfig) -> str:
+    """SHA-256 of the canonical JSON of the result-affecting config fields."""
+    payload = config.fingerprint_payload()
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(b"c1:" + canonical.encode("utf-8")).hexdigest()
+
+
+def combine_fingerprints(graph_digest: str, config_digest: str) -> str:
+    """The cache key built from the two halves' digests."""
+    combined = f"r1:{graph_digest}:{config_digest}"
+    return hashlib.sha256(combined.encode("ascii")).hexdigest()
+
+
+def request_fingerprint(graph: Graph, config: SolverConfig) -> str:
+    """The cache key for one solve request: hash of both halves."""
+    return combine_fingerprints(
+        graph_fingerprint(graph), config_fingerprint(config)
+    )

@@ -1,0 +1,166 @@
+"""Service-side request metrics: latency percentiles, QPS, queue depth.
+
+The first subsystem in this repo for which *requests per second* is a
+first-class measured quantity.  Kept dependency-free and cheap on the
+hot path: recording a request is an append to a bounded ring plus a few
+counter increments; percentile math happens only when a snapshot is
+asked for.
+
+Latencies feed a bounded reservoir (the most recent ``window`` samples),
+so long-running servers report the *current* tail, not the all-time
+mix.  Percentiles use the nearest-rank method on a sorted copy of the
+window — exact for the window, O(window log window) per snapshot.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from typing import Any
+
+__all__ = ["LatencyWindow", "ServiceMetrics", "percentile"]
+
+
+def percentile(sorted_samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted, non-empty list."""
+    if not sorted_samples:
+        raise ValueError("percentile of an empty sample set")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    # Nearest-rank uses ceil, not round: round()'s banker's rounding would
+    # bias exact half-ranks one rank low (p50 of 5 samples must be the 3rd).
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_samples)))
+    return sorted_samples[min(rank, len(sorted_samples)) - 1]
+
+
+class LatencyWindow:
+    """Bounded reservoir of recent latency samples with percentile queries."""
+
+    def __init__(self, window: int = 8192):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._samples: deque[float] = deque(maxlen=window)
+        self.count = 0  # all-time, beyond the window
+
+    def record(self, latency_s: float) -> None:
+        self._samples.append(latency_s)
+        self.count += 1
+
+    def snapshot(self) -> dict[str, float]:
+        """``{count, p50_ms, p95_ms, p99_ms, max_ms}`` over the window."""
+        ordered = sorted(self._samples)
+        if not ordered:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "window": len(ordered),
+            "p50_ms": round(1000 * percentile(ordered, 50), 3),
+            "p95_ms": round(1000 * percentile(ordered, 95), 3),
+            "p99_ms": round(1000 * percentile(ordered, 99), 3),
+            "max_ms": round(1000 * ordered[-1], 3),
+        }
+
+
+class ServiceMetrics:
+    """Aggregated gateway metrics, exported as one JSON snapshot.
+
+    Tracked per class of outcome: completed solves (split cached /
+    solved), rejections (load shedding), failures (engine errors).
+    ``queue_depth`` is a gauge the batcher updates as requests enter and
+    leave the dispatch queue; ``batches``/``batched_requests`` describe
+    micro-batch shape.  Thread-safe for the same reason the cache is:
+    completions are recorded from worker threads.
+    """
+
+    def __init__(self, latency_window: int = 8192, clock=time.monotonic):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.started_at = clock()
+        self.latency = LatencyWindow(latency_window)
+        self.cached_latency = LatencyWindow(latency_window)
+        self.solved_latency = LatencyWindow(latency_window)
+        self.coalesced_latency = LatencyWindow(latency_window)
+        self.completed = 0
+        self.cached = 0
+        self.coalesced = 0
+        self.rejected = 0
+        self.failed = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.queue_depth = 0
+        self.queue_depth_peak = 0
+
+    # -- recording (hot path) ---------------------------------------------
+
+    def record_request(
+        self, latency_s: float, cached: bool, coalesced: bool = False
+    ) -> None:
+        """One completed request.  ``coalesced`` marks a duplicate served
+        by someone else's in-flight solve — kept out of the solved-path
+        window so duplicate-heavy traffic doesn't distort the reported
+        solve latency distribution."""
+        with self._lock:
+            self.completed += 1
+            self.latency.record(latency_s)
+            if cached:
+                self.cached += 1
+                self.cached_latency.record(latency_s)
+            elif coalesced:
+                self.coalesced += 1
+                self.coalesced_latency.record(latency_s)
+            else:
+                self.solved_latency.record(latency_s)
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_failed(self) -> None:
+        with self._lock:
+            self.failed += 1
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += size
+
+    def set_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            self.queue_depth = depth
+            self.queue_depth_peak = max(self.queue_depth_peak, depth)
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """One JSON-serialisable view of everything above.
+
+        ``qps`` is completed requests over total uptime — the long-run
+        service rate, which open-loop load tests compare against their
+        offered rate.
+        """
+        with self._lock:
+            elapsed = max(1e-9, self._clock() - self.started_at)
+            return {
+                "uptime_s": round(elapsed, 3),
+                "completed": self.completed,
+                "cached": self.cached,
+                "rejected": self.rejected,
+                "failed": self.failed,
+                "qps": round(self.completed / elapsed, 2),
+                "cache_hit_rate": round(
+                    self.cached / self.completed if self.completed else 0.0, 4
+                ),
+                "coalesced": self.coalesced,
+                "latency": self.latency.snapshot(),
+                "latency_cached": self.cached_latency.snapshot(),
+                "latency_solved": self.solved_latency.snapshot(),
+                "latency_coalesced": self.coalesced_latency.snapshot(),
+                "batches": self.batches,
+                "mean_batch_size": round(
+                    self.batched_requests / self.batches if self.batches else 0.0, 2
+                ),
+                "queue_depth": self.queue_depth,
+                "queue_depth_peak": self.queue_depth_peak,
+            }

@@ -1,0 +1,378 @@
+"""Newline-delimited-JSON coloring server over TCP (stdlib asyncio only).
+
+Protocol (one JSON object per line, UTF-8):
+
+Request::
+
+    {"id": 7, "op": "solve",
+     "graph": {"n": 5, "edges": [[0, 1], [1, 2], ...]},
+     "config": {"algorithm": "auto", "seed": 0}}
+
+* ``op`` — ``"solve"``, ``"stats"`` (gateway/cache/metrics snapshot) or
+  ``"ping"``.
+* ``graph.edges`` — undirected edge pairs.  With ``graph.n`` present the
+  ids must be ``0..n-1`` (isolated nodes allowed); without it, arbitrary
+  integer ids are compacted ascending — the same normalisation as
+  :func:`repro.cli.load_edge_list` — and the reply carries ``node_ids``
+  mapping color index back to payload id.
+* ``config`` — any subset of the :class:`repro.api.SolverConfig` fields
+  (``params`` as a ``RandomizedParams`` field dict).
+
+Reply (order may interleave across a connection's pipelined requests —
+match on ``id``)::
+
+    {"id": 7, "ok": true, "cached": false, "fingerprint": "…",
+     "result": { …ColoringResult.as_dict()… }}
+
+    {"id": 7, "ok": false,
+     "error": {"type": "overloaded", "name": "ServiceOverloadedError",
+               "message": "…"}}
+
+``error.type`` is ``"overloaded"`` (shed load, retry with backoff),
+``"protocol"`` (malformed request — don't retry), or ``"engine"`` (the
+solver rejected the instance, e.g. a non-nice graph sent to a
+``needs_nice`` algorithm).  Each request line is handled in its own
+task, so one slow solve never blocks the connection — that concurrency
+is what feeds the gateway's micro-batches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+from array import array
+from typing import Any
+
+from repro.api.config import SolverConfig
+from repro.core.randomized import RandomizedParams
+from repro.errors import (
+    GraphError,
+    ReproError,
+    ServiceOverloadedError,
+    ServiceProtocolError,
+)
+from repro.graphs.graph import Graph
+from repro.service.batcher import BatchingGateway
+from repro.service.fingerprint import (
+    combine_fingerprints,
+    config_fingerprint,
+    edge_keys_fingerprint,
+)
+
+__all__ = [
+    "ColoringServer",
+    "ParsedGraphPayload",
+    "parse_graph_payload",
+    "graph_from_payload",
+    "config_from_payload",
+    "MAX_LINE_BYTES",
+]
+
+_CONFIG_FIELDS = {f.name for f in dataclasses.fields(SolverConfig)} - {"on_phase"}
+_PARAMS_FIELDS = {f.name for f in dataclasses.fields(RandomizedParams)}
+
+# Stream-reader line limit.  asyncio's 64 KiB default caps requests at a
+# few thousand edges; a million-edge graph payload is ~14 MB of JSON, so
+# both the server and the async client raise the limit to this bound
+# (it is also the hard cap on accepted request size — one more layer of
+# admission control).
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+_MAX_NODE = 2**31  # ids must pack into (u << 32) | v edge keys and 'i' CSR buffers
+
+
+class ParsedGraphPayload:
+    """A request's graph half, normalised but *not yet constructed*.
+
+    Carries everything the cache probe needs (``n`` plus the packed edge
+    keys that :func:`repro.service.fingerprint.edge_keys_fingerprint`
+    hashes) and a :meth:`build` that performs the full checked
+    :class:`Graph` construction — which the server only invokes on a
+    cache miss, keeping hits free of construction and validation cost.
+    Endpoints are kept as two flat ``array`` columns; Python-level
+    per-edge work on the hit path is the single packed-key comprehension.
+    """
+
+    __slots__ = ("n", "_us", "_vs", "edge_keys", "node_ids")
+
+    def __init__(self, n: int, us: array, vs: array, node_ids: list[int] | None):
+        self.n = n
+        self._us = us
+        self._vs = vs
+        self.node_ids = node_ids
+        self.edge_keys = [
+            (u << 32) | v if u < v else (v << 32) | u for u, v in zip(us, vs)
+        ]
+
+    @property
+    def pairs(self) -> list[tuple[int, int]]:
+        return list(zip(self._us, self._vs))
+
+    def build(self) -> Graph:
+        """The checked construction (raises ``GraphError`` on self-loops,
+        duplicate edges, out-of-range endpoints)."""
+        return Graph(self.n, self.pairs)
+
+
+def parse_graph_payload(payload: Any) -> ParsedGraphPayload:
+    """Normalise a request's ``graph`` object without building the graph.
+
+    With ``n`` present the ids must be ``0..n-1``; without it, arbitrary
+    integer ids are compacted ascending (``node_ids`` records the
+    mapping when it isn't the identity).  Malformed payloads raise
+    :class:`ServiceProtocolError`; *structural* problems (self-loops,
+    duplicate edges) are deliberately left to :meth:`ParsedGraphPayload.
+    build` — their edge keys can never match a valid cached instance.
+    """
+    if not isinstance(payload, dict):
+        raise ServiceProtocolError("graph must be an object with 'edges'")
+    edges_raw = payload.get("edges")
+    if not isinstance(edges_raw, list):
+        raise ServiceProtocolError("graph.edges must be a list of [u, v] pairs")
+    try:
+        # Per-pair arity first (C-speed via map): a total-length check
+        # alone would let [[0,1,2],[3]] re-pair silently into a graph the
+        # client never sent.  Then array('q') rejects non-int items.
+        if edges_raw and set(map(len, edges_raw)) != {2}:
+            raise ServiceProtocolError("graph.edges must contain [u, v] pairs")
+        flat = array("q", (x for pair in edges_raw for x in pair))
+    except (TypeError, OverflowError):
+        raise ServiceProtocolError(
+            "graph.edges must contain [u, v] integer pairs"
+        ) from None
+    if "n" in payload:
+        n = payload["n"]
+        if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+            raise ServiceProtocolError(f"graph.n must be a non-negative int, got {n!r}")
+        if n > _MAX_NODE:
+            raise ServiceProtocolError(f"graph.n must be <= {_MAX_NODE}")
+        if len(flat) and not (0 <= min(flat) and max(flat) < n):
+            raise ServiceProtocolError(
+                f"edge endpoints must lie in 0..{n - 1} when graph.n is given"
+            )
+        return ParsedGraphPayload(n, flat[0::2], flat[1::2], None)
+    ids = sorted(set(flat))
+    if len(ids) > _MAX_NODE:
+        raise ServiceProtocolError(f"too many distinct node ids (> {_MAX_NODE})")
+    index = {node: i for i, node in enumerate(ids)}
+    us = array("q", (index[u] for u in flat[0::2]))
+    vs = array("q", (index[v] for v in flat[1::2]))
+    identity = ids == list(range(len(ids)))
+    return ParsedGraphPayload(len(ids), us, vs, None if identity else list(ids))
+
+
+def graph_from_payload(payload: Any) -> tuple[Graph, list[int] | None]:
+    """Eager parse: :func:`parse_graph_payload` + checked construction.
+
+    ``node_ids`` is None when the payload ids were already ``0..n-1``
+    (no relabeling happened); otherwise ``node_ids[i]`` is the payload id
+    of internal node ``i``.  Malformed payloads raise
+    :class:`ServiceProtocolError`; structural problems (self-loops,
+    duplicate edges) surface as :class:`repro.errors.GraphError` from the
+    checked :class:`Graph` constructor.
+    """
+    parsed = parse_graph_payload(payload)
+    return parsed.build(), parsed.node_ids
+
+
+def config_from_payload(payload: Any) -> SolverConfig:
+    """Parse a request's ``config`` object (missing/None = defaults)."""
+    if payload is None:
+        return SolverConfig()
+    if not isinstance(payload, dict):
+        raise ServiceProtocolError("config must be an object")
+    unknown = set(payload) - _CONFIG_FIELDS
+    if unknown:
+        raise ServiceProtocolError(
+            f"unknown config fields {sorted(unknown)}; allowed: "
+            f"{sorted(_CONFIG_FIELDS)}"
+        )
+    fields = dict(payload)
+    params = fields.get("params")
+    if params is not None:
+        if not isinstance(params, dict) or set(params) - _PARAMS_FIELDS:
+            raise ServiceProtocolError(
+                f"config.params must be an object with fields from "
+                f"{sorted(_PARAMS_FIELDS)}"
+            )
+        fields["params"] = RandomizedParams(**params)
+    try:
+        return SolverConfig(**fields)
+    except TypeError as exc:
+        raise ServiceProtocolError(f"bad config: {exc}") from None
+
+
+def _error_reply(request_id: Any, kind: str, exc: BaseException) -> dict[str, Any]:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {
+            "type": kind,
+            "name": type(exc).__name__,
+            "message": str(exc),
+        },
+    }
+
+
+class ColoringServer:
+    """The asyncio TCP front end over one :class:`BatchingGateway`.
+
+    Usage::
+
+        server = ColoringServer(port=0, workers=2, max_queue=128)
+        await server.start()          # binds; server.port is the real port
+        await server.serve_forever()  # or keep doing other loop work
+
+    ``port=0`` binds an ephemeral port (tests and the in-process load
+    harness use this).  All gateway knobs pass through as kwargs.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8512,
+        gateway: BatchingGateway | None = None,
+        **gateway_kwargs: Any,
+    ):
+        self.host = host
+        self.port = port
+        self.gateway = gateway if gateway is not None else BatchingGateway(**gateway_kwargs)
+        self._server: asyncio.base_events.Server | None = None
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``."""
+        self.gateway.warm()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.gateway.close()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        request_tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.get_running_loop().create_task(
+                    self._handle_line(line, writer, write_lock)
+                )
+                request_tasks.add(task)
+                task.add_done_callback(request_tasks.discard)
+        except (
+            ConnectionResetError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ValueError,  # line past MAX_LINE_BYTES: drop the connection
+        ):
+            pass
+        finally:
+            if request_tasks:
+                await asyncio.gather(*request_tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # Results with color vectors past this length have their reply JSON
+    # encoded off the event loop: serialising a multi-megabyte reply
+    # inline would stall every connection (the same head-of-line blocking
+    # the lazy request-side build avoids).  Small replies stay inline —
+    # an executor hop costs more than encoding them.
+    _INLINE_ENCODE_MAX_COLORS = 100_000
+
+    async def _handle_line(
+        self, line: bytes, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> None:
+        reply = await self._reply_for(line)
+        result = reply.get("result")
+
+        def encode() -> bytes:
+            return (json.dumps(reply, separators=(",", ":")) + "\n").encode("utf-8")
+
+        if result and len(result.get("colors", ())) > self._INLINE_ENCODE_MAX_COLORS:
+            payload = await asyncio.get_running_loop().run_in_executor(None, encode)
+        else:
+            payload = encode()
+        async with write_lock:
+            try:
+                writer.write(payload)
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _reply_for(self, line: bytes) -> dict[str, Any]:
+        request_id: Any = None
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ServiceProtocolError("request must be a JSON object")
+            request_id = request.get("id")
+            op = request.get("op", "solve")
+            if op == "ping":
+                return {"id": request_id, "ok": True, "pong": True}
+            if op == "stats":
+                return {"id": request_id, "ok": True, "stats": self.gateway.stats()}
+            if op != "solve":
+                raise ServiceProtocolError(f"unknown op {op!r}")
+            parsed = parse_graph_payload(request.get("graph"))
+            config = config_from_payload(request.get("config"))
+        except ServiceProtocolError as exc:
+            return _error_reply(request_id, "protocol", exc)
+        except (json.JSONDecodeError, ReproError) as exc:
+            return _error_reply(request_id, "protocol", exc)
+
+        # Hash the payload directly (edge_keys_fingerprint) so cache hits
+        # never pay graph construction + validation; the checked build
+        # runs lazily, off the event loop, only for requests that solve.
+        fingerprint = combine_fingerprints(
+            edge_keys_fingerprint(parsed.n, parsed.edge_keys),
+            config_fingerprint(config.without_observer()),
+        )
+        node_ids = parsed.node_ids
+        try:
+            reply = await self.gateway.submit(
+                parsed.build, config, fingerprint=fingerprint
+            )
+        except ServiceOverloadedError as exc:
+            return _error_reply(request_id, "overloaded", exc)
+        except GraphError as exc:
+            # deferred structural validation (self-loops, duplicate edges)
+            return _error_reply(request_id, "protocol", exc)
+        except ReproError as exc:
+            return _error_reply(request_id, "engine", exc)
+        body: dict[str, Any] = {
+            "id": request_id,
+            "ok": True,
+            "cached": reply.cached,
+            "fingerprint": reply.fingerprint,
+            "result": reply.result.as_dict(),
+        }
+        if node_ids is not None:
+            body["node_ids"] = node_ids
+        return body
