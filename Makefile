@@ -2,29 +2,53 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test check bench-smoke bench-sweep bench-million serve-smoke bench-service
+.PHONY: test check lint bench-smoke bench-regression bench-sweep bench-million \
+	serve-smoke bench-service incremental-smoke bench-incremental
 
 test:
 	$(PY) -m pytest -x -q
 
-# What CI runs: the tier-1 suite, the bench-rot smoke pass, and the
-# service smoke (boot the TCP server, fire 50 mixed requests through
-# ColoringClient, assert validity + cache hits + load shedding), so the
-# solver facade, the bench harness, and the serving layer cannot rot
-# independently.
-check: test bench-smoke serve-smoke
+# What CI runs: the tier-1 suite, the bench-rot smoke pass (plus the
+# perf-regression gate over its timings), the service smoke (boot the
+# TCP server, fire 50 mixed requests through ColoringClient, assert
+# validity + cache hits + load shedding), and the incremental smoke
+# (single-edge update vs fresh solve at n=32768: >= 10x, digest-chained,
+# validity-asserted), so the solver facade, the bench harness, the
+# serving layer and the update path cannot rot independently.
+check: test bench-regression serve-smoke incremental-smoke
+
+# Style gate (CI installs a pinned ruff; see .github/workflows/ci.yml).
+lint:
+	ruff check src tests benchmarks scripts
 
 # Service smoke: real server + client over localhost TCP.
 serve-smoke:
 	$(PY) benchmarks/bench_s1_service.py --smoke
+
+# Incremental smoke: the update verb's acceptance gate (engine + TCP).
+incremental-smoke:
+	$(PY) benchmarks/bench_s2_incremental.py --smoke
+
+# Full incremental sweep: update-op latency vs fresh solves across edit sizes.
+bench-incremental:
+	$(PY) benchmarks/bench_s2_incremental.py
 
 # Full serving-layer load test (open-loop traffic; JSON in benchmarks/results/).
 bench-service:
 	$(PY) benchmarks/bench_s1_service.py --rate 100 --requests 300
 
 # CI rot check: every benchmarks/bench_e*.py at its single smallest size.
+# Timings land in benchmarks/results/BENCH_smoke.json for the gate below.
 bench-smoke:
-	$(PY) -m repro bench --smoke
+	$(PY) -m repro bench --smoke --smoke-json benchmarks/results/BENCH_smoke.json
+
+# Perf-regression gate: compare the smoke timings against the committed
+# baseline (machine-speed calibrated; fail on > 1.5x per-module slowdown).
+# Refresh the baseline with:
+#   python scripts/check_bench_regression.py --current benchmarks/results/BENCH_smoke.json --update-baseline
+bench-regression: bench-smoke
+	python scripts/check_bench_regression.py \
+		--current benchmarks/results/BENCH_smoke.json
 
 # Wall-clock scaling sweep via the harness (JSON lands in benchmarks/results/).
 bench-sweep:

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the bench-smoke timings.
+
+``python -m repro bench --smoke --smoke-json BENCH_smoke.json`` emits one
+wall-clock figure per quick-suite bench module; this script compares a
+current run against the committed baseline
+(``benchmarks/baselines/bench_smoke_baseline.json``) and fails when any
+module slowed down by more than ``--threshold`` (default 1.5×).
+
+CI runners and developer machines differ in raw speed, so raw ratios
+would gate on hardware, not code.  The comparison is therefore
+**calibrated**: each module's ratio ``current / baseline`` is divided by
+the *median* ratio across modules (the machine-speed factor), and only
+the calibrated ratio is gated.  A uniform slowdown (slower runner) moves
+every ratio equally and passes; a regression in one module moves only
+that module's ratio and fails.  Modules faster than ``--min-seconds`` in
+the baseline are reported but never gated (timer noise dominates them).
+
+Usage::
+
+    python scripts/check_bench_regression.py --current BENCH_smoke.json
+    python scripts/check_bench_regression.py --current ... --update-baseline
+
+Exit codes: 0 ok, 1 regression(s), 2 bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "bench_smoke_baseline.json"
+
+
+def module_seconds(doc: dict) -> dict[str, float]:
+    """``{module: seconds}`` from a bench-smoke JSON document, failed
+    modules excluded (the smoke run itself already gates on failures)."""
+    modules = doc.get("modules")
+    if not isinstance(modules, dict) or not modules:
+        raise ValueError("document has no 'modules' timings")
+    return {
+        name: float(entry["seconds"])
+        for name, entry in modules.items()
+        if entry.get("ok", True)
+    }
+
+
+def compare(
+    current: dict[str, float],
+    baseline: dict[str, float],
+    threshold: float = 1.5,
+    min_seconds: float = 0.5,
+) -> tuple[list[str], list[str]]:
+    """Calibrated comparison; returns ``(regressions, report_lines)``."""
+    common = sorted(set(current) & set(baseline))
+    if not common:
+        raise ValueError("no common modules between current and baseline")
+    ratios = {name: current[name] / max(1e-9, baseline[name]) for name in common}
+    gated = [name for name in common if baseline[name] >= min_seconds]
+    calibration_pool = gated if gated else common
+    calibration = statistics.median(ratios[name] for name in calibration_pool)
+    calibration = max(calibration, 1e-9)
+    regressions: list[str] = []
+    lines = [
+        f"machine-speed calibration factor: {calibration:.3f} "
+        f"(median ratio over {len(calibration_pool)} modules)"
+    ]
+    for name in common:
+        calibrated = ratios[name] / calibration
+        gate = baseline[name] >= min_seconds
+        status = "ok"
+        if gate and calibrated > threshold:
+            status = f"REGRESSION (> {threshold:.2f}x)"
+            regressions.append(
+                f"{name}: {baseline[name]:.2f}s -> {current[name]:.2f}s "
+                f"({calibrated:.2f}x calibrated)"
+            )
+        elif not gate:
+            status = "ungated (baseline below min-seconds)"
+        lines.append(
+            f"  {name:<28} base {baseline[name]:7.2f}s  cur {current[name]:7.2f}s  "
+            f"raw {ratios[name]:5.2f}x  calibrated {calibrated:5.2f}x  {status}"
+        )
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        lines.append(f"  (missing from current run: {', '.join(missing)})")
+    new = sorted(set(current) - set(baseline))
+    if new:
+        lines.append(
+            f"  (not in baseline, ungated: {', '.join(new)} — "
+            "refresh with --update-baseline)"
+        )
+    return regressions, lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--current", required=True,
+        help="bench-smoke JSON of the run under test "
+        "(python -m repro bench --smoke --smoke-json <path>)",
+    )
+    parser.add_argument(
+        "--baseline", default=str(DEFAULT_BASELINE),
+        help=f"committed baseline JSON (default {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=1.5,
+        help="fail when a module's calibrated slowdown exceeds this (default 1.5)",
+    )
+    parser.add_argument(
+        "--min-seconds", type=float, default=0.5,
+        help="baseline entries faster than this are reported but not gated",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="overwrite the baseline with the current run and exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        current_doc = json.loads(Path(args.current).read_text())
+        current = module_seconds(current_doc)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"check_bench_regression: bad --current: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline)
+    if args.update_baseline:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(json.dumps(current_doc, indent=2) + "\n")
+        print(f"baseline updated: {baseline_path} ({len(current)} modules)")
+        return 0
+
+    try:
+        baseline = module_seconds(json.loads(baseline_path.read_text()))
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"check_bench_regression: bad --baseline: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        regressions, lines = compare(
+            current, baseline, threshold=args.threshold,
+            min_seconds=args.min_seconds,
+        )
+    except ValueError as exc:
+        print(f"check_bench_regression: {exc}", file=sys.stderr)
+        return 2
+    print("\n".join(lines))
+    if regressions:
+        print(
+            f"check_bench_regression: {len(regressions)} regression(s):",
+            file=sys.stderr,
+        )
+        for regression in regressions:
+            print(f"  {regression}", file=sys.stderr)
+        return 1
+    print("check_bench_regression: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

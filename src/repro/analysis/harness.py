@@ -46,6 +46,8 @@ __all__ = [
     "delta_coloring_sweep",
     "throughput_sweep",
     "service_load_sweep",
+    "incremental_update_sweep",
+    "carve_matching",
 ]
 
 
@@ -308,6 +310,127 @@ def throughput_sweep(
             batch / point.measurement.best_s, 2
         )
     return sweep_points
+
+
+def carve_matching(graph, size: int) -> list[tuple[int, int]]:
+    """``size`` pairwise-disjoint edges of ``graph`` (greedy matching).
+
+    The canonical way to build an *updatable* benchmark instance: a
+    Δ-regular graph minus a matching keeps Δ while giving every matched
+    endpoint one unit of degree slack, so re-inserting matching edges is
+    a Δ-preserving edit stream (inserting into a perfectly Δ-regular
+    graph would raise Δ and force a full re-solve on every op).
+    """
+    matching: list[tuple[int, int]] = []
+    used: set[int] = set()
+    for u, v in graph.edges():
+        if u not in used and v not in used:
+            matching.append((u, v))
+            used.add(u)
+            used.add(v)
+            if len(matching) == size:
+                break
+    if len(matching) < size:
+        raise ValueError(
+            f"graph has no matching of size {size} (found {len(matching)})"
+        )
+    return matching
+
+
+def incremental_update_sweep(
+    sizes: Sequence[int],
+    delta: int = 8,
+    edits: Sequence[int] = (1, 16, 256),
+    seed: int = 0,
+    warmup: int = 1,
+    repeats: int = 5,
+    algorithm: str = "randomized-large",
+) -> list[SweepPoint]:
+    """Update-op latency vs fresh-solve latency across edit sizes.
+
+    Per size point: a random Δ-regular graph minus a matching (the
+    updatable instance — see :func:`carve_matching`) is solved fresh
+    (timed), then for each edit size ``k`` the same ``k`` matching edges
+    are repeatedly *inserted* through :func:`repro.api.solve_incremental`
+    — the op that can conflict and exercise the repair ladder; each
+    timed call is one update op on the current version, seeded by the
+    previous op's result, exactly the service's ``update``-verb workload
+    (validation included on both sides of the comparison).  Between
+    timed samples the chunk is deleted again, *outside* the timed
+    region: deletions are trivially conflict-free, and letting them into
+    the sample pool would report the cheap half of the stream as the
+    headline.  Per-point metadata aggregates the repair stats over every
+    timed insert and records the fresh baseline and the speedup — the
+    number the incremental subsystem exists to deliver.
+    """
+    from repro.api import SolverConfig, solve, solve_incremental
+    from repro.graphs.generators import random_regular_graph
+
+    config = SolverConfig(algorithm=algorithm, seed=seed)
+    points: list[SweepPoint] = []
+    for n in sizes:
+        full = random_regular_graph(n, delta, seed=seed)
+        matching = carve_matching(full, max(edits))
+        base = full.apply_updates(removed=matching)
+        fresh = measure(
+            lambda: solve(base, config),
+            label=f"fresh-solve n={n} Δ={delta}",
+            warmup=warmup,
+            repeats=repeats,
+            meta_from_result=lambda r: {"rounds": r.rounds},
+        )
+        points.append(
+            SweepPoint(
+                params={"n": n, "delta": delta, "kind": "fresh"},
+                measurement=fresh,
+            )
+        )
+        parent = solve(base, config)
+        for k in edits:
+            chunk = matching[:k]
+            graph, result = base, parent
+            samples: list[float] = []
+            agg = {"conflicts": 0, "recolored": 0, "max_radius": 0,
+                   "full_resolves": 0}
+            for i in range(warmup + repeats):
+                t0 = time.perf_counter()
+                inserted = solve_incremental(
+                    graph, result, edges_added=chunk, config=config
+                )
+                elapsed = time.perf_counter() - t0
+                if i >= warmup:
+                    samples.append(elapsed)
+                    agg["conflicts"] += inserted.update["conflicts"]
+                    agg["recolored"] += inserted.update["recolored_count"]
+                    agg["max_radius"] = max(
+                        agg["max_radius"], inserted.update["max_repair_radius"]
+                    )
+                    agg["full_resolves"] += inserted.update["full_resolve"]
+                # untimed restore so every timed sample inserts afresh
+                restored = solve_incremental(
+                    inserted.graph, inserted.result, edges_removed=chunk,
+                    config=config,
+                )
+                graph, result = restored.graph, restored.result
+            mean = sum(samples) / len(samples)
+            var = sum((s - mean) ** 2 for s in samples) / len(samples)
+            update = Measurement(
+                label=f"update k={k} n={n} Δ={delta}",
+                repeats=len(samples),
+                best_s=min(samples),
+                mean_s=mean,
+                stdev_s=math.sqrt(var),
+                meta=dict(agg),
+            )
+            update.meta["fresh_best_s"] = round(fresh.best_s, 6)
+            update.meta["speedup"] = round(fresh.best_s / update.best_s, 1)
+            points.append(
+                SweepPoint(
+                    params={"n": n, "delta": delta, "kind": "update", "edits": k},
+                    measurement=update,
+                )
+            )
+    return points
 
 
 def service_load_sweep(

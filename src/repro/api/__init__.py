@@ -11,7 +11,10 @@ One stable surface over the package's family of Δ-coloring pipelines:
 * one configuration object (:class:`SolverConfig`) consolidating the
   previously scattered kwargs, including an ``on_phase`` observer hook;
 * :func:`solve` for one graph and :func:`solve_many` (+
-  :class:`SolverPool`) for process-parallel batches.
+  :class:`SolverPool`) for process-parallel batches;
+* :func:`solve_incremental` for graph *streams* — re-color after an
+  edge delta by local repair of a parent result instead of a fresh
+  solve (see :mod:`repro.core.incremental` and docs/INCREMENTAL.md).
 
 Quick start::
 
@@ -37,11 +40,20 @@ from repro.api.registry import (
     register_algorithm,
 )
 from repro.api.result import ColoringResult
-from repro.api.solver import SolverPool, default_workers, solve, solve_many
+from repro.api.solver import (
+    IncrementalUpdate,
+    SolverPool,
+    default_workers,
+    solve,
+    solve_incremental,
+    solve_many,
+)
 
 __all__ = [
     "solve",
     "solve_many",
+    "solve_incremental",
+    "IncrementalUpdate",
     "SolverPool",
     "SolverConfig",
     "ColoringResult",

@@ -59,7 +59,15 @@ class EngineRun:
 
 @dataclass(frozen=True)
 class AlgorithmSpec:
-    """One registry entry: the adapter plus its capability metadata."""
+    """One registry entry: the adapter plus its capability metadata.
+
+    ``supports_incremental`` marks algorithms whose results the
+    incremental engine (:mod:`repro.core.incremental`) can maintain under
+    edge updates via local repair: the palette is a single instance-wide
+    bound the Theorem 5 machinery can repair against.  Per-component
+    χ palettes (``components``) are not — a conflicting update on such a
+    seed always falls through to a full re-solve.
+    """
 
     name: str
     summary: str
@@ -67,6 +75,7 @@ class AlgorithmSpec:
     deterministic: bool
     palette_bound: str
     run: Callable[[Graph, SolverConfig], EngineRun]
+    supports_incremental: bool = False
 
 
 _REGISTRY: dict[str, AlgorithmSpec] = {}
@@ -360,6 +369,7 @@ def _run_auto(graph: Graph, config: SolverConfig) -> EngineRun:
 
 register_algorithm(AlgorithmSpec(
     name="auto",
+    supports_incremental=True,
     summary="pick per instance: paper dispatch on nice graphs, "
             "per-component handling otherwise",
     needs_nice=False,
@@ -369,6 +379,7 @@ register_algorithm(AlgorithmSpec(
 ))
 register_algorithm(AlgorithmSpec(
     name="randomized",
+    supports_incremental=True,
     summary="paper dispatch: Thm 1 (Δ=3) or Thm 3 (Δ≥4) randomized Δ-coloring",
     needs_nice=True,
     deterministic=False,
@@ -377,6 +388,7 @@ register_algorithm(AlgorithmSpec(
 ))
 register_algorithm(AlgorithmSpec(
     name="randomized-small",
+    supports_incremental=True,
     summary="Theorem 1: randomized Δ-coloring tuned for Δ = O(1)",
     needs_nice=True,
     deterministic=False,
@@ -385,6 +397,7 @@ register_algorithm(AlgorithmSpec(
 ))
 register_algorithm(AlgorithmSpec(
     name="randomized-large",
+    supports_incremental=True,
     summary="Theorem 3: randomized Δ-coloring for Δ ≥ 4",
     needs_nice=True,
     deterministic=False,
@@ -393,6 +406,7 @@ register_algorithm(AlgorithmSpec(
 ))
 register_algorithm(AlgorithmSpec(
     name="deterministic",
+    supports_incremental=True,
     summary="Theorem 4: deterministic layering Δ-coloring",
     needs_nice=True,
     deterministic=True,
@@ -401,6 +415,7 @@ register_algorithm(AlgorithmSpec(
 ))
 register_algorithm(AlgorithmSpec(
     name="slocal",
+    supports_incremental=True,
     summary="Remark 17: SLOCAL(O(log_Δ n)) sequential-local Δ-coloring",
     needs_nice=True,
     deterministic=True,
@@ -409,6 +424,7 @@ register_algorithm(AlgorithmSpec(
 ))
 register_algorithm(AlgorithmSpec(
     name="ps",
+    supports_incremental=True,
     summary="Panconesi–Srinivasan '95 baseline: O(log³n/logΔ) Δ-coloring",
     needs_nice=True,
     deterministic=False,
@@ -417,6 +433,7 @@ register_algorithm(AlgorithmSpec(
 ))
 register_algorithm(AlgorithmSpec(
     name="greedy",
+    supports_incremental=True,
     summary="centralized sequential greedy (the (Δ+1)-coloring reference)",
     needs_nice=False,
     deterministic=True,

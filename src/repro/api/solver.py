@@ -18,6 +18,7 @@ import os
 import time
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Any
 
 from repro.api.config import SolverConfig
@@ -26,7 +27,14 @@ from repro.api.result import ColoringResult
 from repro.graphs.graph import Graph
 from repro.graphs.validation import validate_coloring
 
-__all__ = ["solve", "solve_many", "SolverPool", "default_workers"]
+__all__ = [
+    "solve",
+    "solve_many",
+    "solve_incremental",
+    "IncrementalUpdate",
+    "SolverPool",
+    "default_workers",
+]
 
 
 def _make_config(config: SolverConfig | None, overrides: dict[str, Any]) -> SolverConfig:
@@ -78,6 +86,76 @@ def _notify(config: SolverConfig, result: ColoringResult) -> None:
         return
     for name, rounds in result.phase_rounds.items():
         config.on_phase(name, rounds, result.phase_stats.get(name, {}))
+
+
+@dataclass(frozen=True)
+class IncrementalUpdate:
+    """What :func:`solve_incremental` returns.
+
+    ``result`` is a normal :class:`ColoringResult` for the *child* graph
+    (``stats["incremental"]`` carries the update's repair statistics;
+    ``rounds`` is the charged LOCAL repair cost, not a full pipeline's),
+    ``graph`` is the child graph itself (reusable as the next parent),
+    and ``update`` is the raw per-op outcome dict.
+    """
+
+    result: ColoringResult
+    graph: Graph
+    update: dict[str, Any]
+
+
+def solve_incremental(
+    graph: Graph,
+    parent: ColoringResult,
+    edges_added: Iterable[tuple[int, int]] = (),
+    edges_removed: Iterable[tuple[int, int]] = (),
+    config: SolverConfig | None = None,
+    **overrides: Any,
+) -> IncrementalUpdate:
+    """Re-color ``graph`` after an edge delta, seeded by ``parent``.
+
+    The streaming counterpart of :func:`solve`: instead of solving the
+    child instance from scratch, the parent coloring is kept and only the
+    conflicts the delta created are repaired through the incremental
+    ladder (greedy free color → Theorem 5 token walk → full re-solve;
+    see :mod:`repro.core.incremental`).  ``parent`` must be a result for
+    ``graph`` itself (the *pre-update* instance); the child graph is
+    built internally via :meth:`repro.graphs.Graph.apply_updates` and
+    returned alongside the result so callers can chain updates.
+
+    ``config`` (plus ``overrides``) governs validation and the full
+    re-solve fallback — by default ``algorithm="auto"`` with the parent's
+    seed.  Raises the engine's typed errors
+    (:class:`repro.errors.EdgeAlreadyPresentError`,
+    :class:`repro.errors.EdgeNotPresentError`) on rejected deltas.
+    """
+    from repro.core.incremental import IncrementalColoring
+
+    config = _make_config(config, overrides)
+    engine = IncrementalColoring.from_result(
+        graph, parent, config=config.without_observer()
+    )
+    started = time.perf_counter()
+    outcome = engine.batch_update(edges_added, edges_removed)
+    child = engine.graph
+    if config.validate:
+        validate_coloring(child, engine.colors, max_colors=engine.palette or None)
+    update = outcome.as_dict()
+    result = ColoringResult(
+        algorithm=engine.algorithm,
+        n=child.n,
+        delta=engine.delta,
+        palette=engine.palette,
+        colors=tuple(engine.colors),
+        rounds=outcome.rounds,
+        phase_rounds={"incremental-repair": outcome.rounds},
+        phase_stats={"incremental-repair": dict(update)},
+        stats={"incremental": dict(update)},
+        seed=parent.seed,
+        wall_time_s=time.perf_counter() - started,
+    )
+    _notify(config, result)
+    return IncrementalUpdate(result=result, graph=child, update=update)
 
 
 def _solve_task(task: tuple[Graph, SolverConfig]) -> ColoringResult:

@@ -166,17 +166,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 2
     status = 0
     if args.smoke:
-        status = _bench_smoke()
+        status = _bench_smoke(args.smoke_json)
     if args.sweep and status == 0:
         status = _bench_sweep(args)
     return status
 
 
-def _bench_smoke() -> int:
+def _bench_smoke(json_path: str | None = None) -> int:
     """Import every ``benchmarks/bench_e*.py`` and run its ``build_*``
-    functions at smoke size; any exception fails the run."""
+    functions at smoke size; any exception fails the run.
+
+    With ``json_path``, per-module wall-clock seconds are written as one
+    JSON document — the input of ``scripts/check_bench_regression.py``,
+    the CI perf-regression gate (compared against the committed baseline
+    in ``benchmarks/baselines/``).
+    """
     import importlib
     import os
+    import platform
     import time
     import traceback
 
@@ -187,6 +194,7 @@ def _bench_smoke() -> int:
         return 2
     sys.path.insert(0, str(bench_dir))
     failures = 0
+    modules: dict[str, dict] = {}
     for path in sorted(bench_dir.glob("bench_e*.py")):
         module_name = path.stem
         started = time.perf_counter()
@@ -204,12 +212,32 @@ def _bench_smoke() -> int:
             for builder in builders:
                 builder()
             elapsed = time.perf_counter() - started
+            modules[module_name] = {"seconds": round(elapsed, 3), "ok": True}
             print(f"smoke {module_name:<28} ok    {elapsed:6.1f}s ({len(builders)} tables)")
         except Exception:
             failures += 1
             elapsed = time.perf_counter() - started
+            modules[module_name] = {"seconds": round(elapsed, 3), "ok": False}
             print(f"smoke {module_name:<28} FAIL  {elapsed:6.1f}s")
             traceback.print_exc()
+    if json_path:
+        try:
+            import numpy  # noqa: F401 - vectorized fast paths present?
+            numeric = True
+        except ImportError:
+            numeric = False
+        payload = {
+            "bench": "smoke",
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "numeric_stack": numeric,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "modules": modules,
+        }
+        out = Path(json_path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
     if failures:
         print(f"bench --smoke: {failures} bench module(s) failed", file=sys.stderr)
         return 1
@@ -265,6 +293,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.cache import ResultCache
     from repro.service.server import ColoringServer
 
+    from repro.service.graphstore import GraphStore
+
     cache = ResultCache(
         max_entries=args.cache_entries,
         max_bytes=args.cache_bytes if args.cache_bytes > 0 else None,
@@ -275,9 +305,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         workers=args.workers,
         cache=cache,
+        graph_store=GraphStore(max_entries=args.graph_store_entries),
         max_batch=args.max_batch,
         max_wait_s=args.max_wait_ms / 1000.0,
         max_queue=args.max_queue,
+        max_cost=args.max_cost if args.max_cost > 0 else None,
     )
 
     async def _serve() -> None:
@@ -345,6 +377,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every benchmarks/bench_e*.py at its tiniest size (CI rot check)",
     )
     bench.add_argument(
+        "--smoke-json",
+        help="write per-module --smoke timings to this JSON path (the "
+        "input of scripts/check_bench_regression.py)",
+    )
+    bench.add_argument(
         "--sweep",
         action="store_true",
         help="time end-to-end Δ-coloring across --sizes with warmup/repeats",
@@ -393,6 +430,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-queue", type=int, default=64,
         help="outstanding-request bound; beyond it requests are rejected",
+    )
+    serve.add_argument(
+        "--max-cost", type=int, default=8_000_000,
+        help="cost-aware admission: bound on the summed n+m of outstanding "
+        "requests, so backlog is metered in work, not request count "
+        "(<= 0 disables; an oversize request is still admitted when idle)",
+    )
+    serve.add_argument(
+        "--graph-store-entries", type=int, default=128,
+        help="served instances retained for the update verb's repair parents",
     )
     serve.add_argument("--cache-entries", type=int, default=1024)
     serve.add_argument(

@@ -348,6 +348,7 @@ def _regional_repair(
     """Uncolor a growing region around the token and solve it as a
     degree-list instance; guaranteed to terminate on nice components."""
     radius = max(2, max_radius)
+    last_region_size = -1
     while True:
         region = set(bfs_ball(graph, token, radius))
         saved = {u: colors[u] for u in region}
@@ -367,11 +368,15 @@ def _regional_repair(
         except InfeasibleListColoringError:
             for u, c in saved.items():
                 colors[u] = c
-            if len(region) >= graph.n:
+            # The second condition catches disconnected graphs: once the
+            # ball saturates the token's component, growing the radius
+            # cannot change the instance, so retrying would loop forever.
+            if len(region) >= graph.n or len(region) == last_region_size:
                 raise AlgorithmContractError(
-                    "regional repair failed on the whole graph: input is not "
-                    "Δ-colorable (clique or odd cycle?)"
+                    "regional repair failed on the whole component: input is "
+                    "not Δ-colorable (clique or odd cycle?)"
                 )
+            last_region_size = len(region)
             radius *= 2
             continue
         for i, u in enumerate(originals):

@@ -1,0 +1,437 @@
+"""Incremental Δ-coloring under edge updates (graph streams).
+
+The paper's Theorem 5 machinery (:func:`repro.core.brooks.
+fix_uncolored_node`) completes a coloring with one uncolored node by
+recoloring only an O(log n) neighbourhood — exactly the primitive needed
+to keep a coloring valid under edge insertions and deletions instead of
+re-solving from scratch.  :class:`IncrementalColoring` packages it as a
+stateful engine:
+
+* it holds the current :class:`repro.graphs.Graph` plus a valid coloring
+  (typically seeded from a :class:`repro.api.ColoringResult`);
+* ``insert_edge`` / ``delete_edge`` / ``batch_update`` apply a delta via
+  :meth:`repro.graphs.Graph.apply_updates` (touched-rows-only CSR
+  rewrite, no full revalidation), detect the conflicts the delta
+  created, uncolor a *minimal* hitting set of conflict endpoints, and
+  repair each through the ladder
+
+      1. **greedy** — take a free color at the uncolored node (O(Δ));
+      2. **brooks** — the Theorem 5 token walk
+         (:func:`fix_uncolored_node`), O(log n) locality;
+      3. **resolve** — a full :func:`repro.api.solve` of the new graph,
+         reached only when Δ changed (the Δ-coloring contract itself
+         moved) or the local repair stalled (e.g. the update carved out
+         a clique component, which no Δ-palette repair can fix).
+
+Deletions never create conflicts (removing constraints preserves
+properness), so they are O(delta-application) unless they lower Δ —
+a *smaller* palette contract — which forces a resolve.
+
+Every op returns an :class:`UpdateOutcome` with repair-locality stats
+(`recolored_count`, `max_repair_radius`, charged LOCAL `rounds`, the
+per-mode counts), and the engine accumulates lifetime totals in
+:attr:`IncrementalColoring.totals` — the numbers
+``benchmarks/bench_s2_incremental.py`` reports against fresh-solve
+latency.
+
+Rejected operations (typed, state unchanged):
+
+* inserting an edge that is already present —
+  :class:`repro.errors.EdgeAlreadyPresentError`;
+* deleting an edge that is not present —
+  :class:`repro.errors.EdgeNotPresentError`;
+* any update that would change Δ when the engine was built with
+  ``allow_resolve=False`` — :class:`repro.errors.DeltaChangeError`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import (
+    DeltaChangeError,
+    EdgeAlreadyPresentError,
+    EdgeNotPresentError,
+    ReproError,
+)
+from repro.core.brooks import fix_uncolored_node
+from repro.graphs.graph import Graph
+from repro.graphs.validation import UNCOLORED, validate_coloring
+
+__all__ = ["IncrementalColoring", "UpdateOutcome"]
+
+
+@dataclass
+class UpdateOutcome:
+    """What one ``insert_edge`` / ``delete_edge`` / ``batch_update`` did.
+
+    ``repair_modes`` counts repaired nodes per ladder rung (``greedy``,
+    plus the :class:`repro.core.brooks.BrooksFixResult` modes for token
+    walks); ``max_repair_radius`` is the farthest distance from a repair
+    site at which a color changed — the locality Theorem 5 bounds by
+    2·log_{Δ-1} n; ``rounds`` is the charged LOCAL cost of the repairs.
+    ``full_resolve`` marks the ladder's last rung: the whole coloring was
+    recomputed and per-node repair stats do not apply.
+    """
+
+    op: str
+    edges_added: int = 0
+    edges_removed: int = 0
+    conflicts: int = 0
+    recolored_count: int = 0
+    repair_modes: dict[str, int] = field(default_factory=dict)
+    max_repair_radius: int = 0
+    rounds: int = 0
+    full_resolve: bool = False
+    resolve_reason: str | None = None
+    delta: int = 0
+    palette: int = 0
+    wall_time_s: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "op": self.op,
+            "edges_added": self.edges_added,
+            "edges_removed": self.edges_removed,
+            "conflicts": self.conflicts,
+            "recolored_count": self.recolored_count,
+            "repair_modes": dict(self.repair_modes),
+            "max_repair_radius": self.max_repair_radius,
+            "rounds": self.rounds,
+            "full_resolve": self.full_resolve,
+            "resolve_reason": self.resolve_reason,
+            "delta": self.delta,
+            "palette": self.palette,
+            "wall_time_s": round(self.wall_time_s, 6),
+        }
+
+
+class IncrementalColoring:
+    """A valid coloring maintained under a stream of edge updates.
+
+    Parameters
+    ----------
+    graph:
+        The current instance (never mutated; updates swap in new graphs).
+    colors:
+        A valid coloring of ``graph`` with colors in ``1..palette``
+        (validated at construction unless ``validate_seed=False``).
+    palette:
+        The palette bound the engine maintains (Δ for the paper's
+        algorithms).
+    algorithm:
+        The registry name that produced the seed coloring; consulted for
+        the ``supports_incremental`` capability flag — algorithms without
+        it (per-component χ palettes) skip the repair ladder and resolve
+        on every conflicting update.
+    config:
+        The :class:`repro.api.SolverConfig` used for full re-solves
+        (default: ``algorithm="auto"`` with ``seed``).
+    allow_resolve:
+        When False, updates that would need a full re-solve (Δ changes)
+        raise :class:`repro.errors.DeltaChangeError` instead, leaving the
+        engine unchanged.
+    validate:
+        Re-validate the full coloring after every applied update (an
+        O(n + m) pass; the property-test suite turns it on, the service
+        path validates once per op at the gateway level).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        colors: Iterable[int],
+        palette: int | None = None,
+        *,
+        algorithm: str = "auto",
+        config: "Any | None" = None,
+        seed: int = 0,
+        allow_resolve: bool = True,
+        validate: bool = False,
+        validate_seed: bool = True,
+    ):
+        self._graph = graph
+        self._colors = list(colors)
+        self._delta = graph.max_degree()
+        self.palette = palette if palette is not None else self._delta
+        self.algorithm = algorithm
+        self.seed = seed
+        self.allow_resolve = allow_resolve
+        self.validate = validate
+        self._config = config
+        if validate_seed:
+            validate_coloring(graph, self._colors, max_colors=self.palette or None)
+        self.totals: dict[str, Any] = {
+            "ops": 0,
+            "edges_added": 0,
+            "edges_removed": 0,
+            "conflicts": 0,
+            "recolored": 0,
+            "full_resolves": 0,
+            "repair_modes": {},
+            "max_repair_radius": 0,
+            "rounds": 0,
+        }
+
+    @classmethod
+    def from_result(
+        cls, graph: Graph, result: "Any", **kwargs: Any
+    ) -> "IncrementalColoring":
+        """Seed the engine from a :class:`repro.api.ColoringResult` of
+        ``graph`` (the solve is trusted: no seed re-validation)."""
+        kwargs.setdefault("validate_seed", False)
+        kwargs.setdefault("seed", result.seed if result.seed is not None else 0)
+        kwargs.setdefault("algorithm", result.algorithm)
+        return cls(graph, result.colors, result.palette, **kwargs)
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    @property
+    def colors(self) -> list[int]:
+        """The current coloring (a copy; the engine owns its state)."""
+        return list(self._colors)
+
+    @property
+    def delta(self) -> int:
+        return self._delta
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"IncrementalColoring(n={self._graph.n}, m={self._graph.num_edges}, "
+            f"Δ={self._delta}, palette={self.palette}, ops={self.totals['ops']})"
+        )
+
+    # -- operations --------------------------------------------------------
+
+    def insert_edge(self, u: int, v: int) -> UpdateOutcome:
+        """Insert ``{u, v}``, repairing any conflict it creates."""
+        return self._apply("insert", [(u, v)], [])
+
+    def delete_edge(self, u: int, v: int) -> UpdateOutcome:
+        """Delete ``{u, v}`` (never creates conflicts; may lower Δ)."""
+        return self._apply("delete", [], [(u, v)])
+
+    def batch_update(
+        self,
+        added: Iterable[tuple[int, int]] = (),
+        removed: Iterable[tuple[int, int]] = (),
+    ) -> UpdateOutcome:
+        """Apply a whole delta atomically: one new graph, all conflicts
+        detected against it, one repair pass."""
+        return self._apply("batch", list(added), list(removed))
+
+    # -- internals ---------------------------------------------------------
+
+    def _apply(
+        self,
+        op: str,
+        added: list[tuple[int, int]],
+        removed: list[tuple[int, int]],
+    ) -> UpdateOutcome:
+        started = time.perf_counter()
+        new_graph = self._updated_graph(added, removed)
+        outcome = UpdateOutcome(
+            op=op, edges_added=len(added), edges_removed=len(removed)
+        )
+        new_delta = new_graph.max_degree()
+        colors = list(self._colors)
+        if (
+            new_delta != self._delta and self.palette == self._delta
+        ) or new_delta > self.palette:
+            # The Δ-coloring contract moved (palette must track Δ): a rise
+            # leaves the old colors proper but under-uses the new palette's
+            # guarantees, a fall makes the old palette illegal; and any
+            # palette below the new Δ voids the repair ladder's guarantees
+            # outright.  Only a fresh solve restores the contract.
+            self._resolve(new_graph, outcome, reason=f"delta {self._delta}->{new_delta}")
+        else:
+            conflicts = [
+                (u, v)
+                for u, v in added
+                if colors[u] == colors[v] and colors[u] != UNCOLORED
+            ]
+            outcome.conflicts = len(conflicts)
+            if conflicts and not self._spec_supports_incremental():
+                self._resolve(new_graph, outcome, reason="algorithm-unsupported")
+            elif conflicts:
+                uncolor = self._minimal_uncolor_set(conflicts, new_graph, colors)
+                before = list(colors)
+                try:
+                    self._repair(new_graph, colors, uncolor, outcome)
+                except ReproError:
+                    # Repair stalled (e.g. the delta carved out a clique
+                    # component): last rung of the ladder.
+                    self._resolve(new_graph, outcome, reason="repair-stalled")
+                else:
+                    outcome.recolored_count = sum(
+                        1 for a, b in zip(before, colors) if a != b
+                    )
+                    self._commit(new_graph, colors, new_delta)
+            else:
+                self._commit(new_graph, colors, new_delta)
+        outcome.delta = self._delta
+        outcome.palette = self.palette
+        if self.validate:
+            validate_coloring(
+                self._graph, self._colors, max_colors=self.palette or None
+            )
+        outcome.wall_time_s = time.perf_counter() - started
+        self._accumulate(outcome)
+        return outcome
+
+    def _updated_graph(
+        self, added: list[tuple[int, int]], removed: list[tuple[int, int]]
+    ) -> Graph:
+        """Delta application with the typed rejection contract."""
+        offsets, indices = self._graph.csr()
+        n = self._graph.n
+        for u, v in removed:
+            if not (0 <= u < n and 0 <= v < n) or (
+                v not in indices[offsets[u] : offsets[u + 1]]
+            ):
+                raise EdgeNotPresentError(
+                    f"cannot delete edge ({u}, {v}): not present"
+                )
+        seen_batch: set[tuple[int, int]] = set()
+        for u, v in added:
+            key = (u, v) if u < v else (v, u)
+            if (
+                0 <= u < n
+                and 0 <= v < n
+                and (v in indices[offsets[u] : offsets[u + 1]] or key in seen_batch)
+            ):
+                raise EdgeAlreadyPresentError(
+                    f"cannot insert edge ({u}, {v}): already present"
+                )
+            seen_batch.add(key)
+        # Range errors and self-loops keep their GraphError identity from
+        # the graph layer; presence/absence got the typed treatment above.
+        return self._graph.apply_updates(added, removed)
+
+    def _spec_supports_incremental(self) -> bool:
+        from repro.api.registry import get_algorithm
+
+        try:
+            return get_algorithm(self.algorithm).supports_incremental
+        except ReproError:
+            # Unknown (e.g. third-party unregistered) seed algorithm:
+            # assume repairable — the resolve rung still backstops it.
+            return True
+
+    def _minimal_uncolor_set(
+        self,
+        conflicts: list[tuple[int, int]],
+        graph: Graph,
+        colors: list[int],
+    ) -> list[int]:
+        """A small vertex set hitting every conflict edge.
+
+        Greedy max-multiplicity vertex cover over the conflict edges: for
+        single-edge updates this is one endpoint (preferring one with
+        degree < palette, where a free color is guaranteed); for batches
+        a shared endpoint of k conflicts is uncolored once instead of k
+        times.
+        """
+        remaining = list(conflicts)
+        uncolor: list[int] = []
+        while remaining:
+            multiplicity: dict[int, int] = {}
+            for u, v in remaining:
+                multiplicity[u] = multiplicity.get(u, 0) + 1
+                multiplicity[v] = multiplicity.get(v, 0) + 1
+            best = max(
+                multiplicity,
+                key=lambda x: (
+                    multiplicity[x],
+                    graph.degree(x) < self.palette,  # free color guaranteed
+                    -x,
+                ),
+            )
+            uncolor.append(best)
+            remaining = [e for e in remaining if best not in e]
+        return uncolor
+
+    def _repair(
+        self,
+        graph: Graph,
+        colors: list[int],
+        uncolor: list[int],
+        outcome: UpdateOutcome,
+    ) -> None:
+        """Rungs 1–2 of the ladder for every uncolored node (mutates
+        ``colors``; raises on stall, caller falls to rung 3)."""
+        for v in uncolor:
+            colors[v] = UNCOLORED
+        adj = graph.adj
+        for v in uncolor:
+            used = {colors[w] for w in adj[v] if colors[w] != UNCOLORED}
+            free = next(
+                (c for c in range(1, self.palette + 1) if c not in used), None
+            )
+            if free is not None:
+                colors[v] = free
+                outcome.repair_modes["greedy"] = (
+                    outcome.repair_modes.get("greedy", 0) + 1
+                )
+                outcome.rounds += 1
+                continue
+            fix = fix_uncolored_node(graph, colors, v, max_colors=self.palette)
+            outcome.repair_modes[fix.mode] = (
+                outcome.repair_modes.get(fix.mode, 0) + 1
+            )
+            outcome.max_repair_radius = max(outcome.max_repair_radius, fix.radius)
+            outcome.rounds += fix.rounds
+
+    def _resolve(
+        self, graph: Graph, outcome: UpdateOutcome, reason: str
+    ) -> None:
+        """Rung 3: full re-solve of the new graph through the facade."""
+        if not self.allow_resolve:
+            raise DeltaChangeError(
+                f"update needs a full re-solve ({reason}) but the engine "
+                "was built with allow_resolve=False"
+            )
+        from repro.api import SolverConfig, solve
+
+        config = self._config
+        if config is None:
+            config = SolverConfig(algorithm="auto", seed=self.seed)
+        before = self._colors
+        result = solve(graph, config)
+        outcome.full_resolve = True
+        outcome.resolve_reason = reason
+        outcome.rounds += result.rounds
+        outcome.recolored_count = sum(
+            1 for a, b in zip(before, result.colors) if a != b
+        )
+        self.algorithm = result.algorithm
+        self.palette = result.palette
+        self._commit(graph, list(result.colors), graph.max_degree())
+
+    def _commit(self, graph: Graph, colors: list[int], delta: int) -> None:
+        self._graph = graph
+        self._colors = colors
+        self._delta = delta
+
+    def _accumulate(self, outcome: UpdateOutcome) -> None:
+        totals = self.totals
+        totals["ops"] += 1
+        totals["edges_added"] += outcome.edges_added
+        totals["edges_removed"] += outcome.edges_removed
+        totals["conflicts"] += outcome.conflicts
+        totals["recolored"] += outcome.recolored_count
+        totals["full_resolves"] += outcome.full_resolve
+        totals["rounds"] += outcome.rounds
+        totals["max_repair_radius"] = max(
+            totals["max_repair_radius"], outcome.max_repair_radius
+        )
+        for mode, count in outcome.repair_modes.items():
+            totals["repair_modes"][mode] = (
+                totals["repair_modes"].get(mode, 0) + count
+            )

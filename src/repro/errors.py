@@ -55,6 +55,41 @@ class InfeasibleListColoringError(ReproError):
     """
 
 
+class IncrementalUpdateError(ReproError):
+    """Base class for rejected edge-stream updates.
+
+    Raised by :class:`repro.core.incremental.IncrementalColoring` (and the
+    service's ``update`` verb) when an operation cannot be applied to the
+    maintained instance; the engine's state is unchanged after a
+    rejection, so callers may correct the op and retry.
+    """
+
+
+class EdgeAlreadyPresentError(IncrementalUpdateError):
+    """Raised when an ``insert_edge`` names an edge the graph already has
+    (or one duplicated within a batch update)."""
+
+
+class EdgeNotPresentError(IncrementalUpdateError):
+    """Raised when a ``delete_edge`` names an edge the graph does not have."""
+
+
+class DeltaChangeError(IncrementalUpdateError):
+    """Raised when an update would change the maximum degree Δ while the
+    engine was configured with ``allow_resolve=False``.
+
+    A Δ change invalidates the Δ-coloring *contract* (not necessarily the
+    coloring itself), so it cannot be repaired locally — it needs a full
+    re-solve, which the caller explicitly opted out of.
+    """
+
+
+class StaleParentError(IncrementalUpdateError):
+    """Raised by the service when an ``update`` request names a
+    ``parent_digest`` the server no longer holds (evicted or never seen);
+    the client should fall back to a full ``solve`` of the child graph."""
+
+
 class ServiceOverloadedError(ReproError):
     """Raised by the serving gateway when the request queue is full.
 

@@ -373,6 +373,110 @@ class Graph:
                 mask[v] = 1
         return SubgraphView(self, mask)
 
+    def apply_updates(
+        self,
+        added: Iterable[tuple[int, int]] = (),
+        removed: Iterable[tuple[int, int]] = (),
+    ) -> "Graph":
+        """A new graph with ``added`` edges inserted and ``removed`` deleted.
+
+        The delta application that backs the incremental-coloring engine
+        (:mod:`repro.core.incremental`): instead of re-running the full
+        constructor validation (three O(n + m) passes over an edge list
+        this graph already certified), only the *touched* neighbour rows
+        are checked and rewritten — untouched rows are copied between the
+        CSR buffers in bulk slices.  ``self`` is not mutated (graphs stay
+        immutable); the node set is fixed — updates never grow ``n``
+        (grow through :meth:`GraphBuilder.from_graph` instead).
+
+        Validation (raises :class:`GraphError`, leaving ``self`` usable):
+        endpoints in range, no self-loops, every removed edge must be
+        present, every added edge must be absent, no edge repeated
+        within the batch — including appearing in both lists at once (a
+        remove-and-re-add is a no-op; spell it as two calls if the
+        intermediate version matters).
+
+        Large deltas (more directed endpoints touched than remain
+        untouched) fall back to a :class:`GraphBuilder` rebuild of the
+        surviving edge list — same result, better constants.
+        """
+        added = list(added)
+        removed = list(removed)
+        n = self.n
+        for u, v in added + removed:
+            if not (0 <= u < n and 0 <= v < n):
+                raise GraphError(f"edge ({u}, {v}) out of range for n={n}")
+            if u == v:
+                raise GraphError(f"self-loop at node {u} is not allowed")
+        to_remove: dict[int, set[int]] = {}
+        removed_keys: set[tuple[int, int]] = set()
+        for u, v in removed:
+            key = (u, v) if u < v else (v, u)
+            if key in removed_keys:
+                raise GraphError(f"edge ({u}, {v}) removed twice in one update")
+            removed_keys.add(key)
+            to_remove.setdefault(u, set()).add(v)
+            to_remove.setdefault(v, set()).add(u)
+        to_add: dict[int, list[int]] = {}
+        added_keys: set[tuple[int, int]] = set()
+        for u, v in added:
+            key = (u, v) if u < v else (v, u)
+            if key in added_keys:
+                raise GraphError(f"duplicate edge ({u}, {v}) in update batch")
+            if key in removed_keys:
+                raise GraphError(
+                    f"edge ({u}, {v}) both added and removed in one update"
+                )
+            added_keys.add(key)
+            to_add.setdefault(u, []).append(v)
+            to_add.setdefault(v, []).append(u)
+        offsets, indices = self._offsets, self._indices
+        # Presence checks scan only the touched rows (O(deg) each).
+        for u, v in removed:
+            if v not in indices[offsets[u] : offsets[u + 1]]:
+                raise GraphError(f"cannot remove edge ({u}, {v}): not present")
+        for u, v in added:
+            if v in indices[offsets[u] : offsets[u + 1]]:
+                raise GraphError(f"cannot add edge ({u}, {v}): already present")
+        touched = set(to_remove) | set(to_add)
+        touched_volume = sum(
+            offsets[v + 1] - offsets[v] for v in touched
+        ) + 2 * len(added)
+        if touched_volume > len(indices) - touched_volume:
+            builder = GraphBuilder.from_graph(self, skip_keys=removed_keys)
+            for u, v in added:
+                builder.add_edge(u, v)
+            return builder.build()
+        new_m = self._num_edges + len(added) - len(removed)
+        new_offsets = array("i", bytes(4 * (n + 1)))
+        shift = 0
+        for v in range(n):
+            if v in touched:
+                shift += len(to_add.get(v, ())) - len(to_remove.get(v, ()))
+            new_offsets[v + 1] = offsets[v + 1] + shift
+        new_indices = array("i", bytes(4 * (2 * new_m)))
+        ordered = sorted(touched)
+        copy_from = 0  # source cursor (old buffer)
+        copy_to = 0  # destination cursor (new buffer)
+        for v in ordered:
+            row_start, row_end = offsets[v], offsets[v + 1]
+            if row_start > copy_from:  # bulk-copy the untouched span before v
+                span = row_start - copy_from
+                new_indices[copy_to : copy_to + span] = indices[copy_from:row_start]
+                copy_to += span
+            drop = to_remove.get(v)
+            if drop:
+                row = [w for w in indices[row_start:row_end] if w not in drop]
+            else:
+                row = indices[row_start:row_end].tolist()
+            row.extend(to_add.get(v, ()))
+            new_indices[copy_to : copy_to + len(row)] = array("i", row)
+            copy_to += len(row)
+            copy_from = row_end
+        if copy_from < len(indices):
+            new_indices[copy_to:] = indices[copy_from:]
+        return Graph._from_csr(n, new_offsets, new_indices, new_m)
+
     def complement_within(self, nodes: Sequence[int]) -> list[tuple[int, int]]:
         """Non-edges among ``nodes`` (pairs in original labels).
 
@@ -482,6 +586,32 @@ class GraphBuilder:
         self._vs = array("i")
         self._dedup = dedup
         self._seen: set[int] | None = set() if dedup else None
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: Graph,
+        *,
+        dedup: bool = False,
+        skip_keys: "set[tuple[int, int]] | None" = None,
+    ) -> "GraphBuilder":
+        """A builder pre-loaded with ``graph``'s edges (insertion order).
+
+        The bulk half of :meth:`Graph.apply_updates` and the escape hatch
+        for updates that must grow the node set.  ``skip_keys`` drops the
+        given ``(min, max)`` edge keys while copying — the caller promises
+        they exist (the update path validates presence first).
+        """
+        builder = cls(graph.n, dedup=dedup)
+        us, vs, seen = builder._us, builder._vs, builder._seen
+        for u, v in graph.edges():
+            if skip_keys is not None and (u, v) in skip_keys:
+                continue
+            us.append(u)
+            vs.append(v)
+            if seen is not None:
+                seen.add((u << 32) | v)
+        return builder
 
     def add_node(self) -> int:
         """Append a fresh isolated node, returning its index."""

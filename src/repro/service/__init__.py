@@ -12,6 +12,10 @@ tail latency, and cache hit rate become first-class measured quantities.
   admission/coalescing/micro-batching front over a warmed
   :class:`repro.api.SolverPool`, with bounded queue depth and explicit
   load shedding (:class:`repro.errors.ServiceOverloadedError`);
+* :mod:`repro.service.graphstore` — :class:`GraphStore`, the LRU of
+  served instances that backs the ``update`` verb (edge-stream deltas
+  repaired from a cached parent via :func:`repro.api.solve_incremental`
+  instead of re-solved — see docs/INCREMENTAL.md);
 * :mod:`repro.service.metrics` — :class:`ServiceMetrics` latency
   histograms (p50/p95/p99), QPS and queue depth, one JSON snapshot;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — the
@@ -34,20 +38,24 @@ determinism guarantee (a cached result is bit-identical to a fresh
 solve).
 """
 
-from repro.service.batcher import BatchingGateway, GatewayReply
+from repro.service.batcher import BatchingGateway, GatewayReply, UpdateReply
 from repro.service.cache import CacheStats, ResultCache
 from repro.service.client import AsyncColoringClient, ColoringClient, SolveReply
 from repro.service.fingerprint import (
     config_fingerprint,
     graph_fingerprint,
     request_fingerprint,
+    update_fingerprint,
 )
+from repro.service.graphstore import GraphStore
 from repro.service.metrics import LatencyWindow, ServiceMetrics
 from repro.service.server import ColoringServer
 
 __all__ = [
     "BatchingGateway",
     "GatewayReply",
+    "UpdateReply",
+    "GraphStore",
     "ResultCache",
     "CacheStats",
     "ServiceMetrics",
@@ -59,4 +67,5 @@ __all__ = [
     "graph_fingerprint",
     "config_fingerprint",
     "request_fingerprint",
+    "update_fingerprint",
 ]

@@ -9,8 +9,10 @@ Request lifecycle (``await gateway.submit(graph, config)``):
 3. **Coalesce** — if the same fingerprint is already being solved, the
    request attaches to the in-flight future instead of solving twice.
 4. **Admission** — if the number of outstanding (admitted, uncompleted)
-   requests has reached ``max_queue``, the request is rejected *now*
-   with :class:`repro.errors.ServiceOverloadedError`.  Load shedding is
+   requests has reached ``max_queue`` — or, with ``max_cost`` set, if
+   their summed :func:`request_cost` (``n + m``) would exceed it — the
+   request is rejected *now* with
+   :class:`repro.errors.ServiceOverloadedError`.  Load shedding is
    explicit; nothing queues unboundedly and nothing hangs.
 5. **Micro-batch** — a dispatcher task drains the queue into batches of
    up to ``max_batch`` requests, waiting at most ``max_wait_s`` for
@@ -23,6 +25,14 @@ Failure isolation: a request whose engine raises (e.g. a clique sent to
 an algorithm that needs a *nice* graph) fails only its own future — the
 batch it rode in falls back to per-request solves, and the pool and
 dispatcher keep serving (see ``tests/test_service.py``).
+
+Graph streams: :meth:`BatchingGateway.submit_update` serves the
+``update`` verb — an edge delta against a previously served instance,
+addressed by the digest its reply carried.  The parent graph comes from
+the gateway's :class:`repro.service.graphstore.GraphStore` and the
+parent coloring from the result cache; the repair runs through
+:func:`repro.api.solve_incremental` and the child is cached under a
+version-chained digest so updates compose.
 """
 
 from __future__ import annotations
@@ -35,14 +45,19 @@ from dataclasses import dataclass
 
 from repro.api.config import SolverConfig
 from repro.api.result import ColoringResult
-from repro.api.solver import SolverPool, solve_many
-from repro.errors import ServiceOverloadedError
+from repro.api.solver import SolverPool, solve_incremental, solve_many
+from repro.errors import ServiceOverloadedError, StaleParentError
 from repro.graphs.graph import Graph
 from repro.service.cache import ResultCache
-from repro.service.fingerprint import config_fingerprint, request_fingerprint
+from repro.service.fingerprint import (
+    config_fingerprint,
+    request_fingerprint,
+    update_fingerprint,
+)
+from repro.service.graphstore import GraphStore
 from repro.service.metrics import ServiceMetrics
 
-__all__ = ["BatchingGateway", "GatewayReply"]
+__all__ = ["BatchingGateway", "GatewayReply", "UpdateReply", "request_cost"]
 
 
 @dataclass(frozen=True)
@@ -54,15 +69,48 @@ class GatewayReply:
     fingerprint: str
 
 
-class _Pending:
-    __slots__ = ("fingerprint", "graph", "config", "config_key", "future")
+@dataclass(frozen=True)
+class UpdateReply:
+    """What one ``update`` request resolves to.
 
-    def __init__(self, fingerprint, graph, config, config_key, future):
+    ``fingerprint`` is the *child* digest (usable as the next
+    ``parent_digest`` — the cache chains versions); ``update`` is the
+    repair-statistics dict of the op that produced the child (also
+    embedded in ``result.stats["incremental"]``, which is where it comes
+    from when the reply is served from the cache).
+    """
+
+    result: ColoringResult
+    cached: bool
+    fingerprint: str
+    parent_digest: str
+    update: dict
+
+
+def request_cost(n: int, m: int) -> int:
+    """The admission cost of one request: its instance volume ``n + m``.
+
+    Every stage a request pays for downstream — graph construction,
+    solving, validation, serialisation — is Ω(n + m), so queued work is
+    metered in these units rather than request counts (a queue of
+    million-node instances and a queue of toy graphs are not the same
+    backlog).
+    """
+    return n + m
+
+
+class _Pending:
+    __slots__ = (
+        "fingerprint", "graph", "config", "config_key", "future", "cost",
+    )
+
+    def __init__(self, fingerprint, graph, config, config_key, future, cost):
         self.fingerprint = fingerprint
         self.graph = graph
         self.config = config
         self.config_key = config_key
         self.future = future
+        self.cost = cost
 
 
 class BatchingGateway:
@@ -91,6 +139,18 @@ class BatchingGateway:
         requests attached to an in-flight solve).  Followers cost no
         solve work but each holds its request payload, so they are
         bounded too; default ``8 * max_queue``.
+    max_cost:
+        Cost-aware admission bound: the summed :func:`request_cost`
+        (``n + m``) of outstanding requests may not exceed this.  An
+        oversize request is still admitted when the gateway is otherwise
+        idle (otherwise it could never be served at all), so the bound
+        sheds *backlog*, proportionally to the work actually queued.
+        ``None`` (the default) disables cost metering and admission is
+        by request count alone.
+    graph_store:
+        Retains solved instances under their request digests so the
+        ``update`` verb can find its parent graph; injectable for tests
+        and for the server's stats endpoint.
     """
 
     def __init__(
@@ -103,6 +163,8 @@ class BatchingGateway:
         max_wait_s: float = 0.002,
         max_queue: int = 64,
         max_followers: int | None = None,
+        max_cost: int | None = None,
+        graph_store: GraphStore | None = None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -110,19 +172,24 @@ class BatchingGateway:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         if max_followers is not None and max_followers < 1:
             raise ValueError(f"max_followers must be >= 1, got {max_followers}")
+        if max_cost is not None and max_cost < 1:
+            raise ValueError(f"max_cost must be >= 1, got {max_cost}")
         self.cache = cache if cache is not None else ResultCache()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.graph_store = graph_store if graph_store is not None else GraphStore()
         self.max_batch = max_batch
         self.max_wait_s = max(0.0, max_wait_s)
         self.max_queue = max_queue
         self.max_followers = (
             max_followers if max_followers is not None else 8 * max_queue
         )
+        self.max_cost = max_cost
         self.workers = workers
         self._pool = SolverPool(workers) if workers > 1 else None
         self._queue: deque[_Pending] = deque()
         self._inflight: dict[str, asyncio.Future] = {}
         self._outstanding = 0
+        self._outstanding_cost = 0
         self._followers = 0
         self.coalesced = 0
         self._wake = asyncio.Event()
@@ -167,6 +234,7 @@ class BatchingGateway:
         config: SolverConfig | None = None,
         *,
         fingerprint: str | None = None,
+        cost: int | None = None,
     ) -> GatewayReply:
         """Resolve one request through cache / coalescing / batched solve.
 
@@ -176,14 +244,24 @@ class BatchingGateway:
         solve.  The TCP server uses this to answer cache hits without
         paying graph construction and validation
         (:func:`repro.service.fingerprint.edge_keys_fingerprint` hashes
-        the raw payload).
+        the raw payload).  ``cost`` is the request's admission weight
+        (:func:`request_cost`); it is computed from the graph when
+        omitted, but lazy factories should pass it explicitly (the
+        payload's ``n`` and edge count are known before construction).
 
         Raises :class:`ServiceOverloadedError` immediately when the
-        outstanding-request bound is hit, and re-raises the engine's own
+        outstanding-request bound (or, with ``max_cost`` set, the
+        outstanding-cost bound) is hit, and re-raises the engine's own
         error (or the factory's construction error) if the solve fails.
         """
         config = (config or SolverConfig()).without_observer()
         started = time.perf_counter()
+        if cost is None:
+            cost = (
+                request_cost(graph.n, graph.num_edges)
+                if isinstance(graph, Graph)
+                else 0
+            )
         if fingerprint is None:
             if callable(graph):
                 raise ValueError("a lazy graph factory needs an explicit fingerprint")
@@ -224,12 +302,7 @@ class BatchingGateway:
             )
             return GatewayReply(result=result, cached=False, fingerprint=fingerprint)
 
-        if self._outstanding >= self.max_queue:
-            self.metrics.record_rejected()
-            raise ServiceOverloadedError(
-                f"request queue full ({self._outstanding}/{self.max_queue} "
-                "outstanding); retry with backoff"
-            )
+        self._admit(cost)
 
         # One future carries the request from here on: registered before
         # any await so concurrent duplicates coalesce onto it, reserved
@@ -237,6 +310,7 @@ class BatchingGateway:
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._inflight[fingerprint] = future
         self._outstanding += 1
+        self._outstanding_cost += cost
         self.metrics.set_queue_depth(self._outstanding)
 
         if callable(graph):
@@ -248,6 +322,7 @@ class BatchingGateway:
                 graph = await asyncio.get_running_loop().run_in_executor(None, graph)
             except BaseException as exc:
                 self._outstanding -= 1
+                self._outstanding_cost -= cost
                 self._inflight.pop(fingerprint, None)
                 self.metrics.record_failed()
                 self.metrics.set_queue_depth(self._outstanding)
@@ -266,7 +341,7 @@ class BatchingGateway:
                 raise
 
         pending = _Pending(
-            fingerprint, graph, config, config_fingerprint(config), future
+            fingerprint, graph, config, config_fingerprint(config), future, cost
         )
         self._queue.append(pending)
         self.metrics.set_queue_depth(self._outstanding)
@@ -279,6 +354,154 @@ class BatchingGateway:
                 del self._inflight[fingerprint]
         self.metrics.record_request(time.perf_counter() - started, cached=False)
         return GatewayReply(result=result, cached=False, fingerprint=fingerprint)
+
+    def _admit(self, cost: int) -> None:
+        """Admission control: request-count bound plus (optionally) the
+        cost bound.  Raises :class:`ServiceOverloadedError` on rejection."""
+        if self._outstanding >= self.max_queue:
+            self.metrics.record_rejected()
+            raise ServiceOverloadedError(
+                f"request queue full ({self._outstanding}/{self.max_queue} "
+                "outstanding); retry with backoff"
+            )
+        if (
+            self.max_cost is not None
+            and self._outstanding > 0
+            and self._outstanding_cost + cost > self.max_cost
+        ):
+            self.metrics.record_rejected()
+            raise ServiceOverloadedError(
+                f"queued work too large (outstanding cost "
+                f"{self._outstanding_cost} + {cost} > {self.max_cost}); "
+                "retry with backoff"
+            )
+
+    # -- update path -------------------------------------------------------
+
+    async def submit_update(
+        self,
+        parent_digest: str,
+        edges_added: "list[tuple[int, int]]" = (),
+        edges_removed: "list[tuple[int, int]]" = (),
+        config: SolverConfig | None = None,
+    ) -> UpdateReply:
+        """Resolve one edge-stream update against a cached parent.
+
+        The parent is addressed by the digest a previous ``solve`` (or
+        ``update``) reply carried; its graph comes from the gateway's
+        :class:`GraphStore` and its coloring from the result cache, so a
+        known parent pays *no* graph upload, construction, or fresh
+        solve — only delta application and local repair
+        (:func:`repro.api.solve_incremental`).  The child is cached under
+        a version-chained digest (:func:`repro.service.fingerprint.
+        update_fingerprint`) that is itself a valid ``parent_digest``.
+
+        Raises :class:`StaleParentError` when the parent is unknown
+        (evicted or never solved here) — the caller should fall back to
+        a full ``solve`` — and :class:`ServiceOverloadedError` under the
+        same admission bounds as ``submit``.  Rejected deltas re-raise
+        the engine's typed errors with the gateway state unchanged.
+        """
+        config = (config or SolverConfig()).without_observer()
+        started = time.perf_counter()
+        edges_added = list(edges_added)
+        edges_removed = list(edges_removed)
+        child_digest = update_fingerprint(
+            parent_digest, edges_added, edges_removed, config_fingerprint(config)
+        )
+        hit = self.cache.get(child_digest)
+        if hit is not None:
+            self.metrics.record_request(time.perf_counter() - started, cached=True)
+            return UpdateReply(
+                result=hit,
+                cached=True,
+                fingerprint=child_digest,
+                parent_digest=parent_digest,
+                update=dict(hit.stats.get("incremental", {})),
+            )
+
+        shared = self._inflight.get(child_digest)
+        if shared is not None:
+            if self._followers >= self.max_followers:
+                self.metrics.record_rejected()
+                raise ServiceOverloadedError(
+                    f"too many requests waiting on in-flight duplicates "
+                    f"({self._followers}/{self.max_followers}); retry with backoff"
+                )
+            self.coalesced += 1
+            self._followers += 1
+            try:
+                result = await asyncio.shield(shared)
+            except asyncio.CancelledError:
+                raise
+            except BaseException:
+                self.metrics.record_failed()
+                raise
+            finally:
+                self._followers -= 1
+            self.metrics.record_request(
+                time.perf_counter() - started, cached=False, coalesced=True
+            )
+            return UpdateReply(
+                result=result,
+                cached=False,
+                fingerprint=child_digest,
+                parent_digest=parent_digest,
+                update=dict(result.stats.get("incremental", {})),
+            )
+
+        parent_graph = self.graph_store.get(parent_digest)
+        parent_result = self.cache.get(parent_digest)
+        if parent_graph is None or parent_result is None:
+            raise StaleParentError(
+                f"unknown parent {parent_digest[:16]}…: not in the graph "
+                "store / result cache (evicted or never solved here); "
+                "fall back to a full solve of the child graph"
+            )
+        cost = request_cost(parent_graph.n, parent_graph.num_edges)
+        self._admit(cost)
+
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[child_digest] = future
+        self._outstanding += 1
+        self._outstanding_cost += cost
+        self.metrics.set_queue_depth(self._outstanding)
+        try:
+            updated = await asyncio.get_running_loop().run_in_executor(
+                None,
+                lambda: solve_incremental(
+                    parent_graph, parent_result, edges_added, edges_removed, config
+                ),
+            )
+        except BaseException as exc:
+            self.metrics.record_failed()
+            if not future.done():
+                future.set_exception(
+                    ServiceOverloadedError("in-flight update was cancelled; retry")
+                    if isinstance(exc, asyncio.CancelledError)
+                    else exc
+                )
+                future.exception()  # silence the never-retrieved warning
+            raise
+        else:
+            self.cache.put(child_digest, updated.result)
+            self.graph_store.put(child_digest, updated.graph)
+            if not future.done():
+                future.set_result(updated.result)
+            self.metrics.record_request(time.perf_counter() - started, cached=False)
+            return UpdateReply(
+                result=updated.result,
+                cached=False,
+                fingerprint=child_digest,
+                parent_digest=parent_digest,
+                update=updated.update,
+            )
+        finally:
+            self._outstanding -= 1
+            self._outstanding_cost -= cost
+            if self._inflight.get(child_digest) is future:
+                del self._inflight[child_digest]
+            self.metrics.set_queue_depth(self._outstanding)
 
     # -- dispatcher --------------------------------------------------------
 
@@ -308,6 +531,7 @@ class BatchingGateway:
             outcomes = await loop.run_in_executor(None, self._solve_batch, batch)
             for pending, outcome in outcomes:
                 self._outstanding -= 1
+                self._outstanding_cost -= pending.cost
                 self._inflight.pop(pending.fingerprint, None)
                 if isinstance(outcome, BaseException):
                     self.metrics.record_failed()
@@ -315,6 +539,9 @@ class BatchingGateway:
                         pending.future.set_exception(outcome)
                 else:
                     self.cache.put(pending.fingerprint, outcome)
+                    # Retained under the same digest so a later `update`
+                    # can use this instance as its repair parent.
+                    self.graph_store.put(pending.fingerprint, pending.graph)
                     if not pending.future.done():
                         pending.future.set_result(outcome)
             self.metrics.set_queue_depth(self._outstanding)
@@ -364,9 +591,12 @@ class BatchingGateway:
             "max_wait_ms": round(1000 * self.max_wait_s, 3),
             "max_queue": self.max_queue,
             "max_followers": self.max_followers,
+            "max_cost": self.max_cost,
             "outstanding": self._outstanding,
+            "outstanding_cost": self._outstanding_cost,
             "followers": self._followers,
             "coalesced": self.coalesced,
             "cache": self.cache.stats().as_dict(),
+            "graph_store": self.graph_store.stats(),
             "metrics": self.metrics.snapshot(),
         }

@@ -30,9 +30,11 @@ from typing import Any
 from repro.api.config import SolverConfig
 from repro.api.result import ColoringResult
 from repro.errors import (
+    IncrementalUpdateError,
     ReproError,
     ServiceOverloadedError,
     ServiceProtocolError,
+    StaleParentError,
 )
 from repro.graphs.graph import Graph
 
@@ -45,12 +47,20 @@ class RemoteEngineError(ReproError):
 
 @dataclass(frozen=True)
 class SolveReply:
-    """One successful solve round-trip."""
+    """One successful solve (or update) round-trip.
+
+    For ``update`` replies, ``fingerprint`` is the *child* digest —
+    pass it as the next ``parent_digest`` to chain further updates —
+    and ``update``/``parent_digest`` carry the repair statistics and
+    lineage; both are None for plain solves.
+    """
 
     result: ColoringResult
     cached: bool
     fingerprint: str
     node_ids: list[int] | None = None
+    parent_digest: str | None = None
+    update: dict[str, Any] | None = None
 
 
 def graph_payload(graph: Any) -> dict[str, Any]:
@@ -90,6 +100,10 @@ def _raise_for_error(reply: dict[str, Any]) -> None:
         raise ServiceOverloadedError(message)
     if kind == "engine":
         raise RemoteEngineError(message)
+    if kind == "stale_parent":
+        raise StaleParentError(message)
+    if kind == "update":
+        raise IncrementalUpdateError(message)
     raise ServiceProtocolError(message)
 
 
@@ -101,7 +115,28 @@ def _parse_solve_reply(reply: dict[str, Any]) -> SolveReply:
         cached=bool(reply["cached"]),
         fingerprint=reply["fingerprint"],
         node_ids=reply.get("node_ids"),
+        parent_digest=reply.get("parent_digest"),
+        update=reply.get("update"),
     )
+
+
+def _update_request(
+    parent_digest: str,
+    edges_added: Any,
+    edges_removed: Any,
+    config: SolverConfig | dict | None,
+    overrides: dict,
+) -> dict[str, Any]:
+    request: dict[str, Any] = {
+        "op": "update",
+        "parent_digest": parent_digest,
+        "edges_added": [list(e) for e in edges_added],
+        "edges_removed": [list(e) for e in edges_removed],
+    }
+    cfg = config_payload(config, overrides)
+    if cfg is not None:
+        request["config"] = cfg
+    return request
 
 
 class ColoringClient:
@@ -145,6 +180,30 @@ class ColoringClient:
         if cfg is not None:
             request["config"] = cfg
         return _parse_solve_reply(self._roundtrip(request))
+
+    def update(
+        self,
+        parent_digest: str,
+        edges_added: Any = (),
+        edges_removed: Any = (),
+        config: SolverConfig | dict | None = None,
+        **overrides: Any,
+    ) -> SolveReply:
+        """Apply an edge delta to a previously served instance.
+
+        ``parent_digest`` is the ``fingerprint`` of an earlier solve (or
+        update) reply; the returned reply's ``fingerprint`` is the child
+        digest for chaining.  Raises
+        :class:`repro.errors.StaleParentError` when the server evicted
+        the parent — fall back to a full :meth:`solve`.
+        """
+        return _parse_solve_reply(
+            self._roundtrip(
+                _update_request(
+                    parent_digest, edges_added, edges_removed, config, overrides
+                )
+            )
+        )
 
     def stats(self) -> dict[str, Any]:
         reply = self._roundtrip({"op": "stats"})
@@ -235,6 +294,23 @@ class AsyncColoringClient:
         if cfg is not None:
             request["config"] = cfg
         return _parse_solve_reply(await self._roundtrip(request))
+
+    async def update(
+        self,
+        parent_digest: str,
+        edges_added: Any = (),
+        edges_removed: Any = (),
+        config: SolverConfig | dict | None = None,
+        **overrides: Any,
+    ) -> SolveReply:
+        """Async counterpart of :meth:`ColoringClient.update`."""
+        return _parse_solve_reply(
+            await self._roundtrip(
+                _update_request(
+                    parent_digest, edges_added, edges_removed, config, overrides
+                )
+            )
+        )
 
     async def stats(self) -> dict[str, Any]:
         reply = await self._roundtrip({"op": "stats"})

@@ -40,7 +40,12 @@ from array import array
 from collections.abc import Iterable
 
 from repro.api.config import SolverConfig
+from repro.errors import ServiceProtocolError
 from repro.graphs.graph import Graph
+
+# Ids must pack into (u << 32) | v edge keys (and 'i' CSR buffers); the
+# same bound the server enforces on solve payloads (_MAX_NODE there).
+_MAX_PACKED_ID = 2**31
 
 __all__ = [
     "graph_fingerprint",
@@ -48,6 +53,7 @@ __all__ = [
     "config_fingerprint",
     "request_fingerprint",
     "combine_fingerprints",
+    "update_fingerprint",
 ]
 
 
@@ -103,3 +109,58 @@ def request_fingerprint(graph: Graph, config: SolverConfig) -> str:
     return combine_fingerprints(
         graph_fingerprint(graph), config_fingerprint(config)
     )
+
+
+def update_fingerprint(
+    parent_digest: str,
+    added: Iterable[tuple[int, int]],
+    removed: Iterable[tuple[int, int]],
+    config_digest: str,
+) -> str:
+    """The version-chained cache key for one ``update`` request.
+
+    A hash chain over the lineage: ``H(parent_digest, sorted added keys,
+    sorted removed keys, config_digest)``.  Replaying the same delta on
+    the same parent therefore hits the cache, and the returned digest is
+    itself a valid ``parent_digest`` for the next update — the cache
+    chains versions.
+
+    This keyspace (version tag ``u1:``) is deliberately disjoint from
+    the content-addressed ``r1:`` solve keys: an incrementally repaired
+    coloring is *valid* but not bit-identical to what a fresh solve of
+    the child graph would produce, so it must never be served for a
+    plain ``solve`` of that graph.  Within ``u1:`` the determinism
+    contract is: equal keys imply the same parent, delta, and re-solve
+    config — and the repair engine is deterministic in those — so equal
+    keys still imply bit-identical cached results.
+
+    Endpoints outside ``0 <= id < 2**31`` raise
+    :class:`repro.errors.ServiceProtocolError` *before* hashing: the
+    packed key ``(u << 32) | v`` is only injective inside that range, so
+    unvalidated larger ids could collide with — and wrongly serve — a
+    different delta's cached child (and ids ≥ 2³¹ would overflow the
+    key array outright).  No valid parent can contain such nodes anyway
+    (the solve path enforces the same bound on payloads).
+    """
+    def pack(pairs: Iterable[tuple[int, int]]) -> array:
+        keys = []
+        for u, v in pairs:
+            if not (0 <= u < _MAX_PACKED_ID and 0 <= v < _MAX_PACKED_ID):
+                raise ServiceProtocolError(
+                    f"edge endpoint out of range in update delta: ({u}, {v})"
+                )
+            keys.append((u << 32) | v if u < v else (v << 32) | u)
+        keys.sort()
+        return array("q", keys)
+
+    hasher = hashlib.sha256()
+    hasher.update(b"u1:")
+    hasher.update(parent_digest.encode("ascii"))
+    added_keys = pack(added)
+    hasher.update(len(added_keys).to_bytes(8, "little"))
+    hasher.update(added_keys.tobytes())
+    removed_keys = pack(removed)
+    hasher.update(len(removed_keys).to_bytes(8, "little"))
+    hasher.update(removed_keys.tobytes())
+    hasher.update(config_digest.encode("ascii"))
+    return hasher.hexdigest()

@@ -1,0 +1,114 @@
+"""LRU graph store keyed by request fingerprint — the update verb's memory.
+
+The result cache (:mod:`repro.service.cache`) holds colorings, which is
+all a repeated ``solve`` needs; an ``update`` additionally needs the
+parent *graph* to apply the delta and run the repair machinery against.
+:class:`GraphStore` retains recently solved instances under the same
+digests the cache uses, bounded by entry count and (estimated) bytes —
+a CSR graph is two native-int buffers, so the accounting is tight.
+
+Losing an entry is never incorrect: an ``update`` whose parent was
+evicted fails with :class:`repro.errors.StaleParentError` and the client
+falls back to a full ``solve`` of the child graph, which re-seeds the
+store.  Thread-safe for the same reason the cache is — the gateway reads
+on the event loop while solves complete in worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from repro.graphs.graph import Graph
+
+__all__ = ["GraphStore", "estimate_graph_nbytes"]
+
+
+def estimate_graph_nbytes(graph: Graph) -> int:
+    """In-memory footprint of one stored graph: the two CSR buffers plus
+    a fixed object overhead (lazy ``adj``/set views are not retained at
+    store time and are not charged)."""
+    offsets, indices = graph.csr()
+    return 256 + offsets.itemsize * len(offsets) + indices.itemsize * len(indices)
+
+
+class GraphStore:
+    """An LRU map ``fingerprint -> Graph`` with byte accounting.
+
+    Parameters
+    ----------
+    max_entries:
+        Entry-count bound (≥ 1).
+    max_bytes:
+        Bound on the summed :func:`estimate_graph_nbytes`; ``None``
+        disables byte-based eviction.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 128,
+        max_bytes: int | None = 512 * 1024 * 1024,
+    ):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, tuple[Graph, int]] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> Graph | None:
+        """The stored graph for ``key``, or None."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[0]
+
+    def put(self, key: str, graph: Graph) -> None:
+        """Insert (or refresh) ``key``, evicting LRU entries past the bounds."""
+        nbytes = estimate_graph_nbytes(graph)
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._entries[key] = (graph, nbytes)
+            self._bytes += nbytes
+            while len(self._entries) > self.max_entries or (
+                self.max_bytes is not None
+                and self._bytes > self.max_bytes
+                and len(self._entries) > 1
+            ):
+                _, (_, victim_bytes) = self._entries.popitem(last=False)
+                self._bytes -= victim_bytes
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -8,8 +8,10 @@ Request::
      "graph": {"n": 5, "edges": [[0, 1], [1, 2], ...]},
      "config": {"algorithm": "auto", "seed": 0}}
 
-* ``op`` — ``"solve"``, ``"stats"`` (gateway/cache/metrics snapshot) or
-  ``"ping"``.
+* ``op`` — ``"solve"``, ``"update"`` (edge delta against a served
+  instance, addressed by ``parent_digest``; see
+  :meth:`ColoringServer._reply_for_update` and docs/INCREMENTAL.md),
+  ``"stats"`` (gateway/cache/metrics snapshot) or ``"ping"``.
 * ``graph.edges`` — undirected edge pairs.  With ``graph.n`` present the
   ids must be ``0..n-1`` (isolated nodes allowed); without it, arbitrary
   integer ids are compacted ascending — the same normalisation as
@@ -29,11 +31,14 @@ match on ``id``)::
                "message": "…"}}
 
 ``error.type`` is ``"overloaded"`` (shed load, retry with backoff),
-``"protocol"`` (malformed request — don't retry), or ``"engine"`` (the
+``"protocol"`` (malformed request — don't retry), ``"engine"`` (the
 solver rejected the instance, e.g. a non-nice graph sent to a
-``needs_nice`` algorithm).  Each request line is handled in its own
-task, so one slow solve never blocks the connection — that concurrency
-is what feeds the gateway's micro-batches.
+``needs_nice`` algorithm), ``"stale_parent"`` (an ``update`` named a
+parent digest the server no longer holds — fall back to a full solve)
+or ``"update"`` (a rejected delta: edge already present / not present).
+Each request line is handled in its own task, so one slow solve never
+blocks the connection — that concurrency is what feeds the gateway's
+micro-batches.
 """
 
 from __future__ import annotations
@@ -48,12 +53,14 @@ from repro.api.config import SolverConfig
 from repro.core.randomized import RandomizedParams
 from repro.errors import (
     GraphError,
+    IncrementalUpdateError,
     ReproError,
     ServiceOverloadedError,
     ServiceProtocolError,
+    StaleParentError,
 )
 from repro.graphs.graph import Graph
-from repro.service.batcher import BatchingGateway
+from repro.service.batcher import BatchingGateway, request_cost
 from repro.service.fingerprint import (
     combine_fingerprints,
     config_fingerprint,
@@ -64,6 +71,7 @@ __all__ = [
     "ColoringServer",
     "ParsedGraphPayload",
     "parse_graph_payload",
+    "parse_edge_pairs",
     "graph_from_payload",
     "config_from_payload",
     "MAX_LINE_BYTES",
@@ -116,6 +124,38 @@ class ParsedGraphPayload:
         return Graph(self.n, self.pairs)
 
 
+def _flat_int_pairs(edges_raw: Any, what: str) -> array:
+    """Shape-check a JSON list of ``[u, v]`` pairs into one flat int64
+    column (the shared core of the ``solve`` graph payload and the
+    ``update`` verb's deltas).  Raises :class:`ServiceProtocolError` on
+    anything that is not a list of integer pairs."""
+    if not isinstance(edges_raw, list):
+        raise ServiceProtocolError(f"{what} must be a list of [u, v] pairs")
+    try:
+        # Per-pair arity first (C-speed via map): a total-length check
+        # alone would let [[0,1,2],[3]] re-pair silently into edges the
+        # client never sent.  Then array('q') rejects non-int items.
+        if edges_raw and set(map(len, edges_raw)) != {2}:
+            raise ServiceProtocolError(f"{what} must contain [u, v] pairs")
+        return array("q", (x for pair in edges_raw for x in pair))
+    except (TypeError, OverflowError):
+        raise ServiceProtocolError(
+            f"{what} must contain [u, v] integer pairs"
+        ) from None
+
+
+def parse_edge_pairs(edges_raw: Any, what: str) -> list[tuple[int, int]]:
+    """Normalise an ``update`` delta: :func:`_flat_int_pairs` plus the
+    packed-id range check (delta endpoints name parent nodes, which are
+    always ``0 <= id < 2**31`` — see ``_MAX_NODE``)."""
+    flat = _flat_int_pairs(edges_raw, what)
+    if len(flat) and not (0 <= min(flat) and max(flat) < _MAX_NODE):
+        raise ServiceProtocolError(
+            f"{what} endpoints must lie in 0..{_MAX_NODE - 1}"
+        )
+    return list(zip(flat[0::2], flat[1::2]))
+
+
 def parse_graph_payload(payload: Any) -> ParsedGraphPayload:
     """Normalise a request's ``graph`` object without building the graph.
 
@@ -128,20 +168,7 @@ def parse_graph_payload(payload: Any) -> ParsedGraphPayload:
     """
     if not isinstance(payload, dict):
         raise ServiceProtocolError("graph must be an object with 'edges'")
-    edges_raw = payload.get("edges")
-    if not isinstance(edges_raw, list):
-        raise ServiceProtocolError("graph.edges must be a list of [u, v] pairs")
-    try:
-        # Per-pair arity first (C-speed via map): a total-length check
-        # alone would let [[0,1,2],[3]] re-pair silently into a graph the
-        # client never sent.  Then array('q') rejects non-int items.
-        if edges_raw and set(map(len, edges_raw)) != {2}:
-            raise ServiceProtocolError("graph.edges must contain [u, v] pairs")
-        flat = array("q", (x for pair in edges_raw for x in pair))
-    except (TypeError, OverflowError):
-        raise ServiceProtocolError(
-            "graph.edges must contain [u, v] integer pairs"
-        ) from None
+    flat = _flat_int_pairs(payload.get("edges"), "graph.edges")
     if "n" in payload:
         n = payload["n"]
         if not isinstance(n, int) or isinstance(n, bool) or n < 0:
@@ -338,6 +365,8 @@ class ColoringServer:
                 return {"id": request_id, "ok": True, "pong": True}
             if op == "stats":
                 return {"id": request_id, "ok": True, "stats": self.gateway.stats()}
+            if op == "update":
+                return await self._reply_for_update(request_id, request)
             if op != "solve":
                 raise ServiceProtocolError(f"unknown op {op!r}")
             parsed = parse_graph_payload(request.get("graph"))
@@ -354,10 +383,11 @@ class ColoringServer:
             edge_keys_fingerprint(parsed.n, parsed.edge_keys),
             config_fingerprint(config.without_observer()),
         )
+        cost = request_cost(parsed.n, len(parsed.edge_keys))
         node_ids = parsed.node_ids
         try:
             reply = await self.gateway.submit(
-                parsed.build, config, fingerprint=fingerprint
+                parsed.build, config, fingerprint=fingerprint, cost=cost
             )
         except ServiceOverloadedError as exc:
             return _error_reply(request_id, "overloaded", exc)
@@ -376,3 +406,61 @@ class ColoringServer:
         if node_ids is not None:
             body["node_ids"] = node_ids
         return body
+
+    async def _reply_for_update(
+        self, request_id: Any, request: dict[str, Any]
+    ) -> dict[str, Any]:
+        """The ``update`` op: an edge delta against a served instance.
+
+        Request shape (see docs/SERVICE.md and docs/INCREMENTAL.md)::
+
+            {"id": 9, "op": "update", "parent_digest": "…",
+             "edges_added": [[u, v], ...], "edges_removed": [[u, v], ...],
+             "config": { … SolverConfig fields for the re-solve fallback … }}
+
+        The reply mirrors ``solve`` plus ``parent_digest`` and an
+        ``update`` block with the repair statistics; ``fingerprint`` is
+        the child digest — pass it as the next ``parent_digest`` to
+        chain further updates.
+        """
+        parent_digest = request.get("parent_digest")
+        if not isinstance(parent_digest, str) or not parent_digest:
+            return _error_reply(
+                request_id,
+                "protocol",
+                ServiceProtocolError("update needs a string parent_digest"),
+            )
+        try:
+            added = parse_edge_pairs(request.get("edges_added", []), "edges_added")
+            removed = parse_edge_pairs(
+                request.get("edges_removed", []), "edges_removed"
+            )
+            config = config_from_payload(request.get("config"))
+        except ServiceProtocolError as exc:
+            return _error_reply(request_id, "protocol", exc)
+        try:
+            reply = await self.gateway.submit_update(
+                parent_digest, added, removed, config
+            )
+        except ServiceOverloadedError as exc:
+            return _error_reply(request_id, "overloaded", exc)
+        except ServiceProtocolError as exc:
+            # defensive: the fingerprint layer re-checks packed-id range
+            return _error_reply(request_id, "protocol", exc)
+        except StaleParentError as exc:
+            return _error_reply(request_id, "stale_parent", exc)
+        except (IncrementalUpdateError, GraphError) as exc:
+            # rejected delta (edge already present / not present, bad
+            # endpoints): the client's request is wrong, not the engine
+            return _error_reply(request_id, "update", exc)
+        except ReproError as exc:
+            return _error_reply(request_id, "engine", exc)
+        return {
+            "id": request_id,
+            "ok": True,
+            "cached": reply.cached,
+            "fingerprint": reply.fingerprint,
+            "parent_digest": reply.parent_digest,
+            "update": reply.update,
+            "result": reply.result.as_dict(),
+        }

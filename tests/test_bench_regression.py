@@ -1,0 +1,133 @@
+"""Tests for the CI perf-regression gate (scripts/check_bench_regression.py).
+
+The gate must flag genuine per-module slowdowns while staying immune to
+uniform machine-speed differences between the baseline host and the CI
+runner — that calibration is the whole reason the script exists.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parents[1] / "scripts" / "check_bench_regression.py"
+spec = importlib.util.spec_from_file_location("check_bench_regression", SCRIPT)
+cbr = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(cbr)
+
+
+BASE = {"e1": 1.0, "e2": 2.0, "e6": 3.0, "e7": 5.0, "e9": 8.0}
+
+
+class TestCompare:
+    def test_identical_run_passes(self):
+        regressions, _ = cbr.compare(dict(BASE), dict(BASE))
+        assert regressions == []
+
+    def test_uniform_slowdown_is_machine_speed_not_regression(self):
+        slow = {k: v * 3.0 for k, v in BASE.items()}
+        regressions, lines = cbr.compare(slow, dict(BASE), threshold=1.5)
+        assert regressions == []
+        assert any("calibration factor: 3.0" in line for line in lines)
+
+    def test_single_module_regression_flagged(self):
+        current = dict(BASE)
+        current["e7"] = BASE["e7"] * 2.0
+        regressions, _ = cbr.compare(current, dict(BASE), threshold=1.5)
+        assert len(regressions) == 1
+        assert regressions[0].startswith("e7:")
+
+    def test_regression_on_slower_machine_still_flagged(self):
+        # 2x slower machine AND one module 4x slower: only the module fails.
+        current = {k: v * 2.0 for k, v in BASE.items()}
+        current["e1"] = BASE["e1"] * 8.0
+        regressions, _ = cbr.compare(current, dict(BASE), threshold=1.5)
+        assert [r.split(":")[0] for r in regressions] == ["e1"]
+
+    def test_fast_modules_are_not_gated(self):
+        base = dict(BASE, tiny=0.05)
+        current = dict(base, tiny=5.0)  # 100x on a 50ms module: noise
+        regressions, lines = cbr.compare(current, base, min_seconds=0.5)
+        assert regressions == []
+        assert any("ungated" in line for line in lines)
+
+    def test_new_and_missing_modules_reported_not_fatal(self):
+        current = dict(BASE, brand_new=9.9)
+        del current["e2"]
+        regressions, lines = cbr.compare(current, dict(BASE))
+        assert regressions == []
+        joined = "\n".join(lines)
+        assert "brand_new" in joined and "e2" in joined
+
+    def test_disjoint_modules_is_an_error(self):
+        with pytest.raises(ValueError, match="no common modules"):
+            cbr.compare({"a": 1.0}, {"b": 1.0})
+
+    def test_speedups_never_fail(self):
+        current = {k: v / 10.0 for k, v in BASE.items()}
+        regressions, _ = cbr.compare(current, dict(BASE))
+        assert regressions == []
+
+
+class TestModuleSeconds:
+    def test_extracts_ok_modules_only(self):
+        doc = {"modules": {
+            "a": {"seconds": 1.5, "ok": True},
+            "b": {"seconds": 0.5, "ok": False},
+        }}
+        assert cbr.module_seconds(doc) == {"a": 1.5}
+
+    def test_rejects_empty_documents(self):
+        with pytest.raises(ValueError):
+            cbr.module_seconds({})
+
+
+class TestMain:
+    def _write(self, path: Path, modules: dict[str, float]) -> Path:
+        path.write_text(json.dumps({
+            "bench": "smoke",
+            "modules": {
+                name: {"seconds": secs, "ok": True}
+                for name, secs in modules.items()
+            },
+        }))
+        return path
+
+    def test_end_to_end_pass_and_fail(self, tmp_path):
+        baseline = self._write(tmp_path / "baseline.json", BASE)
+        good = self._write(tmp_path / "good.json", {k: v * 1.1 for k, v in BASE.items()})
+        assert cbr.main([
+            "--current", str(good), "--baseline", str(baseline),
+        ]) == 0
+        bad_modules = dict(BASE)
+        bad_modules["e9"] = BASE["e9"] * 4
+        bad = self._write(tmp_path / "bad.json", bad_modules)
+        assert cbr.main([
+            "--current", str(bad), "--baseline", str(baseline),
+        ]) == 1
+
+    def test_update_baseline_writes_current(self, tmp_path):
+        current = self._write(tmp_path / "current.json", BASE)
+        baseline = tmp_path / "new" / "baseline.json"
+        assert cbr.main([
+            "--current", str(current), "--baseline", str(baseline),
+            "--update-baseline",
+        ]) == 0
+        assert cbr.module_seconds(json.loads(baseline.read_text())) == BASE
+
+    def test_bad_input_exits_2(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        baseline = self._write(tmp_path / "baseline.json", BASE)
+        assert cbr.main([
+            "--current", str(missing), "--baseline", str(baseline),
+        ]) == 2
+
+    def test_committed_baseline_is_loadable(self):
+        # The default baseline must stay a valid gate input.
+        baseline = cbr.module_seconds(
+            json.loads(Path(cbr.DEFAULT_BASELINE).read_text())
+        )
+        assert baseline, "committed baseline has no modules"

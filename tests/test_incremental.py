@@ -1,0 +1,287 @@
+"""Tests for the incremental-coloring engine (graph streams).
+
+The contract under test: any sequence of accepted insert/delete ops
+keeps :class:`repro.core.incremental.IncrementalColoring` *valid* —
+bit-equivalent in validity to a fresh solve of the current graph (both
+pass :func:`validate_coloring` against their palettes) — while rejected
+ops raise typed errors and leave the engine untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.harness import carve_matching
+from repro.api import SolverConfig, solve, solve_incremental
+from repro.core.incremental import IncrementalColoring
+from repro.errors import (
+    DeltaChangeError,
+    EdgeAlreadyPresentError,
+    EdgeNotPresentError,
+)
+from repro.graphs.generators import complete_graph, random_regular_graph
+from repro.graphs.graph import Graph
+from repro.graphs.validation import validate_coloring
+
+
+def updatable_instance(n=48, delta=4, slack=6, seed=0):
+    """A random Δ-regular graph minus a matching, solved: inserting a
+    matching edge back keeps Δ (both endpoints have degree slack)."""
+    full = random_regular_graph(n, delta, seed=seed)
+    matching = carve_matching(full, slack)
+    base = full.apply_updates(removed=matching)
+    return base, matching, solve(base, seed=seed)
+
+
+class TestEngineBasics:
+    def test_conflict_free_insert_recolors_nothing(self):
+        base, matching, result = updatable_instance()
+        engine = IncrementalColoring.from_result(base, result, validate=True)
+        u, v = next(e for e in matching if result.colors[e[0]] != result.colors[e[1]])
+        outcome = engine.insert_edge(u, v)
+        assert outcome.conflicts == 0
+        assert outcome.recolored_count == 0
+        assert not outcome.full_resolve
+        assert engine.graph.has_edge(u, v)
+
+    def test_delete_never_conflicts(self):
+        base, matching, result = updatable_instance()
+        engine = IncrementalColoring.from_result(base, result, validate=True)
+        u, v = next(base.edges())
+        outcome = engine.delete_edge(u, v)
+        assert outcome.conflicts == 0
+        assert outcome.recolored_count == 0
+        assert not engine.graph.has_edge(u, v)
+
+    def test_conflicting_insert_is_repaired_locally(self):
+        base, matching, result = updatable_instance()
+        engine = IncrementalColoring.from_result(base, result, validate=True)
+        colors = engine.colors
+        slack = sorted({x for e in matching for x in e})
+        pair = next(
+            (a, b)
+            for i, a in enumerate(slack)
+            for b in slack[i + 1:]
+            if colors[a] == colors[b] and not base.has_edge(a, b)
+        )
+        outcome = engine.insert_edge(*pair)
+        assert outcome.conflicts == 1
+        assert not outcome.full_resolve
+        assert outcome.recolored_count >= 1
+        assert sum(outcome.repair_modes.values()) >= 1
+        validate_coloring(engine.graph, engine.colors, max_colors=engine.palette)
+
+    def test_brooks_rung_fires_when_greedy_cannot(self):
+        # Search a small seed range for an insert whose uncolored endpoint
+        # has no free color: the Theorem 5 token walk (not greedy) must
+        # repair it without a full re-solve.
+        for seed in range(25):
+            base, matching, result = updatable_instance(seed=seed)
+            colors = list(result.colors)
+            slack = sorted({x for e in matching for x in e})
+            for i, a in enumerate(slack):
+                for b in slack[i + 1:]:
+                    if colors[a] != colors[b] or base.has_edge(a, b):
+                        continue
+                    engine = IncrementalColoring.from_result(
+                        base, result, validate=True
+                    )
+                    outcome = engine.insert_edge(a, b)
+                    if outcome.full_resolve or not outcome.repair_modes:
+                        continue
+                    if set(outcome.repair_modes) - {"greedy"}:
+                        validate_coloring(
+                            engine.graph, engine.colors, max_colors=engine.palette
+                        )
+                        assert outcome.max_repair_radius >= 1
+                        return
+        pytest.fail("no insert exercised the Brooks repair rung")
+
+    def test_batch_update_shares_conflict_endpoints(self):
+        base, matching, result = updatable_instance(slack=8)
+        engine = IncrementalColoring.from_result(base, result, validate=True)
+        outcome = engine.batch_update(added=matching[:4], removed=[next(base.edges())])
+        assert outcome.edges_added == 4 and outcome.edges_removed == 1
+        validate_coloring(engine.graph, engine.colors, max_colors=engine.palette)
+        # minimality: never more uncolored nodes than conflicts
+        assert outcome.recolored_count <= max(
+            1, outcome.conflicts * (engine.palette + 1)
+        )
+
+    def test_totals_accumulate(self):
+        base, matching, result = updatable_instance()
+        engine = IncrementalColoring.from_result(base, result)
+        engine.insert_edge(*matching[0])
+        engine.delete_edge(*matching[0])
+        assert engine.totals["ops"] == 2
+        assert engine.totals["edges_added"] == 1
+        assert engine.totals["edges_removed"] == 1
+
+
+class TestTypedRejections:
+    def test_delete_nonexistent_edge(self):
+        base, matching, result = updatable_instance()
+        engine = IncrementalColoring.from_result(base, result)
+        u, v = matching[0]  # carved out, so currently absent
+        before = engine.colors
+        with pytest.raises(EdgeNotPresentError):
+            engine.delete_edge(u, v)
+        assert engine.graph is base and engine.colors == before
+        assert engine.totals["ops"] == 0
+
+    def test_insert_existing_edge(self):
+        base, matching, result = updatable_instance()
+        engine = IncrementalColoring.from_result(base, result)
+        u, v = next(base.edges())
+        with pytest.raises(EdgeAlreadyPresentError):
+            engine.insert_edge(u, v)
+        with pytest.raises(EdgeAlreadyPresentError):
+            # duplicated within one batch
+            engine.batch_update(added=[matching[0], matching[0]])
+        assert engine.graph is base
+
+    def test_delta_raising_insert_rejected_without_resolve(self):
+        # Every node of a Δ-regular graph is at degree Δ: any insert
+        # raises Δ and must be rejected when re-solves are disallowed.
+        graph = random_regular_graph(24, 4, seed=1)
+        result = solve(graph, seed=1)
+        engine = IncrementalColoring.from_result(
+            graph, result, allow_resolve=False
+        )
+        nonedge = next(
+            (u, v)
+            for u in range(graph.n)
+            for v in range(u + 1, graph.n)
+            if not graph.has_edge(u, v)
+        )
+        with pytest.raises(DeltaChangeError):
+            engine.insert_edge(*nonedge)
+        assert engine.graph is graph
+        assert engine.delta == 4 and engine.palette == result.palette
+
+
+class TestFullResolveFallback:
+    def test_delta_change_triggers_resolve(self):
+        graph = random_regular_graph(24, 4, seed=1)
+        result = solve(graph, seed=1)
+        engine = IncrementalColoring.from_result(graph, result, validate=True)
+        nonedge = next(
+            (u, v)
+            for u in range(graph.n)
+            for v in range(u + 1, graph.n)
+            if not graph.has_edge(u, v)
+        )
+        outcome = engine.insert_edge(*nonedge)
+        assert outcome.full_resolve
+        assert outcome.resolve_reason.startswith("delta")
+        assert engine.delta == 5
+        validate_coloring(engine.graph, engine.colors, max_colors=engine.palette)
+
+    def test_repair_stall_falls_back_to_resolve(self):
+        # K4 minus an edge is Δ-colorable (Δ=3); inserting the missing
+        # edge completes K4, which is not — Δ stays 3, repair must stall,
+        # and the resolve rung re-colors with the component optimum χ=4.
+        graph = complete_graph(4).apply_updates(removed=[(0, 1)])
+        result = solve(graph, algorithm="components", seed=0)
+        assert result.palette == 3
+        engine = IncrementalColoring.from_result(
+            graph, result, algorithm="deterministic", validate=True
+        )
+        outcome = engine.insert_edge(0, 1)
+        assert outcome.full_resolve
+        assert engine.palette == 4
+        validate_coloring(engine.graph, engine.colors, max_colors=engine.palette)
+
+    def test_components_seed_skips_repair_ladder(self):
+        # `components` results carry per-component χ palettes the repair
+        # machinery cannot maintain; conflicting updates must resolve.
+        base, matching, _ = updatable_instance()
+        result = solve(base, algorithm="components", seed=0)
+        engine = IncrementalColoring.from_result(base, result, validate=True)
+        colors = engine.colors
+        slack = sorted({x for e in matching for x in e})
+        pair = next(
+            (a, b)
+            for i, a in enumerate(slack)
+            for b in slack[i + 1:]
+            if colors[a] == colors[b] and not base.has_edge(a, b)
+        )
+        outcome = engine.insert_edge(*pair)
+        assert outcome.full_resolve
+        assert outcome.resolve_reason == "algorithm-unsupported"
+
+
+class TestSolveIncrementalFacade:
+    def test_returns_chainable_child(self):
+        base, matching, result = updatable_instance()
+        first = solve_incremental(base, result, edges_added=[matching[0]])
+        assert first.graph.has_edge(*matching[0])
+        assert first.result.stats["incremental"]["op"] == "batch"
+        validate_coloring(
+            first.graph, list(first.result.colors),
+            max_colors=first.result.palette,
+        )
+        second = solve_incremental(
+            first.graph, first.result,
+            edges_added=[matching[1]], edges_removed=[matching[0]],
+        )
+        assert not second.graph.has_edge(*matching[0])
+        assert second.graph.has_edge(*matching[1])
+
+    def test_validate_flag_honoured(self):
+        base, matching, result = updatable_instance()
+        out = solve_incremental(
+            base, result, edges_added=[matching[0]],
+            config=SolverConfig(validate=False),
+        )
+        assert out.result.n == base.n
+
+    def test_typed_errors_pass_through(self):
+        base, matching, result = updatable_instance()
+        with pytest.raises(EdgeNotPresentError):
+            solve_incremental(base, result, edges_removed=[matching[0]])
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_random_stream_stays_valid(data):
+    """Any accepted op sequence keeps the engine bit-equivalent in
+    validity to a fresh solve: after every op the maintained coloring
+    validates against the maintained palette, exactly as a fresh solve's
+    output validates against its palette — and the maintained edge set
+    matches the reference exactly."""
+    n = data.draw(st.integers(min_value=4, max_value=14), label="n")
+    all_pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = data.draw(
+        st.lists(
+            st.sampled_from(all_pairs), unique=True, min_size=1,
+            max_size=len(all_pairs),
+        ),
+        label="edges",
+    )
+    graph = Graph(n, edges)
+    result = solve(graph, algorithm="auto", seed=0)
+    engine = IncrementalColoring.from_result(graph, result, validate=True)
+    reference = set(edges)
+    ops = data.draw(st.integers(min_value=1, max_value=8), label="ops")
+    for _ in range(ops):
+        present = sorted(reference)
+        absent = sorted(set(all_pairs) - reference)
+        do_insert = data.draw(st.booleans(), label="insert?") if absent else False
+        if not present:
+            do_insert = True
+        if do_insert and absent:
+            edge = data.draw(st.sampled_from(absent), label="edge")
+            engine.insert_edge(*edge)
+            reference.add(edge)
+        elif present:
+            edge = data.draw(st.sampled_from(present), label="edge")
+            engine.delete_edge(*edge)
+            reference.discard(edge)
+        # engine.validate already re-validated; check the stronger claims:
+        assert set(engine.graph.edges()) == reference
+        validate_coloring(engine.graph, engine.colors, max_colors=engine.palette)
+        fresh = solve(engine.graph, algorithm="auto", seed=0)
+        validate_coloring(engine.graph, list(fresh.colors), max_colors=fresh.palette)

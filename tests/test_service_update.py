@@ -1,0 +1,379 @@
+"""Tests for the service's graph-stream surface.
+
+Covers the version-chained update fingerprints, the :class:`GraphStore`,
+cost-aware admission in the gateway, and the ``update`` verb end to end
+(gateway-level and over TCP), with small graphs throughout so the suite
+stays tier-1-fast.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.analysis.harness import carve_matching
+from repro.api import SolverConfig, solve
+from repro.errors import (
+    EdgeNotPresentError,
+    IncrementalUpdateError,
+    ServiceOverloadedError,
+    StaleParentError,
+)
+from repro.graphs.generators import random_regular_graph
+from repro.graphs.graph import Graph
+from repro.graphs.validation import validate_coloring
+from repro.service import (
+    BatchingGateway,
+    ColoringClient,
+    ColoringServer,
+    GraphStore,
+    config_fingerprint,
+    request_fingerprint,
+    update_fingerprint,
+)
+
+
+def updatable_instance(n=64, delta=4, slack=4, seed=0):
+    full = random_regular_graph(n, delta, seed=seed)
+    matching = carve_matching(full, slack)
+    return full.apply_updates(removed=matching), matching
+
+
+class TestUpdateFingerprint:
+    def test_deterministic_and_order_invariant(self):
+        cfg = config_fingerprint(SolverConfig())
+        a = update_fingerprint("p" * 64, [(0, 1), (2, 3)], [(4, 5)], cfg)
+        b = update_fingerprint("p" * 64, [(3, 2), (0, 1)], [(5, 4)], cfg)
+        assert a == b
+
+    def test_delta_and_lineage_sensitive(self):
+        cfg = config_fingerprint(SolverConfig())
+        base = update_fingerprint("p" * 64, [(0, 1)], [], cfg)
+        assert base != update_fingerprint("q" * 64, [(0, 1)], [], cfg)
+        assert base != update_fingerprint("p" * 64, [(0, 2)], [], cfg)
+        assert base != update_fingerprint("p" * 64, [], [(0, 1)], cfg)
+        assert base != update_fingerprint(
+            "p" * 64, [(0, 1)], [], config_fingerprint(SolverConfig(seed=7))
+        )
+
+    def test_out_of_range_ids_rejected_not_hashed(self):
+        # (u << 32) | v is only injective below 2**31: without the range
+        # check, [(0, 2**32 + 5)] would collide with [(1, 5)] and could
+        # serve a cached child for a different delta.
+        from repro.errors import ServiceProtocolError
+
+        cfg = config_fingerprint(SolverConfig())
+        for bad in ([(0, 2**32 + 5)], [(2**31, 0)], [(-1, 2)]):
+            with pytest.raises(ServiceProtocolError):
+                update_fingerprint("p" * 64, bad, [], cfg)
+        ok = update_fingerprint("p" * 64, [(1, 5)], [], cfg)
+        assert len(ok) == 64
+
+    def test_disjoint_from_solve_keyspace(self):
+        # An update digest must never collide with a content-addressed
+        # solve digest: repaired colorings are valid but not bit-identical
+        # to fresh solves of the same child graph.
+        g = Graph(3, [(0, 1)])
+        cfg = SolverConfig()
+        solve_key = request_fingerprint(g, cfg)
+        child_key = update_fingerprint(
+            solve_key, [(1, 2)], [], config_fingerprint(cfg)
+        )
+        assert child_key != request_fingerprint(
+            g.apply_updates(added=[(1, 2)]), cfg
+        )
+
+
+class TestGraphStore:
+    def test_put_get_and_lru_eviction(self):
+        store = GraphStore(max_entries=2)
+        graphs = [Graph(3, [(0, i % 2 + 1)]) for i in range(3)]
+        for i, g in enumerate(graphs):
+            store.put(f"k{i}", g)
+        assert store.get("k0") is None  # least recently used, evicted
+        assert store.get("k2") is graphs[2]
+        assert store.stats()["evictions"] == 1
+
+    def test_get_refreshes_recency(self):
+        store = GraphStore(max_entries=2)
+        a, b, c = (Graph(2, [(0, 1)]) for _ in range(3))
+        store.put("a", a)
+        store.put("b", b)
+        assert store.get("a") is a  # touch
+        store.put("c", c)
+        assert store.get("b") is None  # b was the stale one
+        assert store.get("a") is a
+
+    def test_byte_bound_evicts(self):
+        big = random_regular_graph(256, 4, seed=0)
+        store = GraphStore(max_entries=64, max_bytes=3000)
+        store.put("a", big)
+        store.put("b", big)
+        assert len(store) == 1  # each entry alone exceeds the bound
+
+
+class TestGatewayUpdates:
+    def test_update_chain_and_replay(self):
+        base, matching = updatable_instance()
+
+        async def drive():
+            async with BatchingGateway(max_queue=8) as gateway:
+                first = await gateway.submit(base, SolverConfig(seed=1))
+                upd = await gateway.submit_update(
+                    first.fingerprint, edges_added=[matching[0]]
+                )
+                assert upd.parent_digest == first.fingerprint
+                assert not upd.cached
+                child_graph = gateway.graph_store.get(upd.fingerprint)
+                assert child_graph is not None
+                assert child_graph.has_edge(*matching[0])
+                validate_coloring(
+                    child_graph, list(upd.result.colors),
+                    max_colors=upd.result.palette,
+                )
+                # chain a second update off the child
+                upd2 = await gateway.submit_update(
+                    upd.fingerprint, edges_added=[matching[1]],
+                    edges_removed=[matching[0]],
+                )
+                assert upd2.parent_digest == upd.fingerprint
+                # replaying the first delta hits the cache bit-identically
+                replay = await gateway.submit_update(
+                    first.fingerprint, edges_added=[matching[0]]
+                )
+                assert replay.cached
+                assert (
+                    replay.result.content_digest() == upd.result.content_digest()
+                )
+                assert replay.update.get("op") == "batch"
+
+        asyncio.run(drive())
+
+    def test_unknown_parent_raises_stale(self):
+        async def drive():
+            async with BatchingGateway() as gateway:
+                with pytest.raises(StaleParentError):
+                    await gateway.submit_update("0" * 64, edges_added=[(0, 1)])
+
+        asyncio.run(drive())
+
+    def test_rejected_delta_keeps_gateway_serving(self):
+        base, matching = updatable_instance()
+
+        async def drive():
+            async with BatchingGateway() as gateway:
+                first = await gateway.submit(base, SolverConfig(seed=1))
+                with pytest.raises(EdgeNotPresentError):
+                    await gateway.submit_update(
+                        first.fingerprint, edges_removed=[matching[0]]
+                    )
+                # capacity was released; the gateway still serves
+                upd = await gateway.submit_update(
+                    first.fingerprint, edges_added=[matching[0]]
+                )
+                assert not upd.cached
+                assert gateway.stats()["outstanding"] == 0
+                assert gateway.stats()["outstanding_cost"] == 0
+
+        asyncio.run(drive())
+
+
+class TestCostAwareAdmission:
+    def test_oversize_request_admitted_when_idle(self):
+        graph = random_regular_graph(128, 4, seed=0)
+
+        async def drive():
+            async with BatchingGateway(max_cost=1) as gateway:
+                reply = await gateway.submit(graph, SolverConfig(seed=0))
+                assert reply.result.n == 128
+
+        asyncio.run(drive())
+
+    def test_cost_bound_sheds_backlog(self):
+        # One big in-flight instance fills max_cost; a second big one is
+        # shed while a toy one still fits — admission meters work, not
+        # request count.  The in-flight leader blocks on an event (lazy
+        # factory) so occupancy is deterministic, not a timing race.
+        import threading
+
+        big = [random_regular_graph(512, 4, seed=s) for s in range(2)]
+        toy = random_regular_graph(16, 3, seed=9)
+        big_cost = 512 + big[0].num_edges
+        release = threading.Event()
+
+        def blocked_factory():
+            release.wait(30)
+            return big[0]
+
+        async def drive():
+            async with BatchingGateway(
+                max_queue=16, max_cost=big_cost + 100, max_wait_s=0.0,
+                max_batch=1,
+            ) as gateway:
+                config = SolverConfig(seed=0, validate=False)
+                first = asyncio.ensure_future(
+                    gateway.submit(
+                        blocked_factory, config,
+                        fingerprint="a" * 64, cost=big_cost,
+                    )
+                )
+                while gateway.stats()["outstanding"] == 0:
+                    await asyncio.sleep(0.001)
+                with pytest.raises(ServiceOverloadedError):
+                    await gateway.submit(big[1], config)
+                toy_reply = await gateway.submit(toy, config)
+                assert toy_reply.result.n == 16
+                release.set()
+                await first
+                assert gateway.stats()["outstanding_cost"] == 0
+                assert gateway.metrics.rejected == 1
+
+        try:
+            asyncio.run(drive())
+        finally:
+            release.set()
+
+    def test_request_count_bound_still_applies(self):
+        import threading
+
+        toy = [random_regular_graph(12, 3, seed=s) for s in range(2)]
+        release = threading.Event()
+
+        def blocked_factory():
+            release.wait(30)
+            return toy[0]
+
+        async def drive():
+            async with BatchingGateway(
+                max_queue=1, max_cost=10**9, max_wait_s=0.0, max_batch=1
+            ) as gateway:
+                config = SolverConfig(seed=0, validate=False)
+                first = asyncio.ensure_future(
+                    gateway.submit(
+                        blocked_factory, config, fingerprint="b" * 64, cost=40,
+                    )
+                )
+                while gateway.stats()["outstanding"] == 0:
+                    await asyncio.sleep(0.001)
+                with pytest.raises(ServiceOverloadedError):
+                    await gateway.submit(toy[1], config)
+                release.set()
+                await first
+
+        try:
+            asyncio.run(drive())
+        finally:
+            release.set()
+
+
+class TestUpdateOverTCP:
+    def test_update_verb_roundtrip(self):
+        base, matching = updatable_instance()
+
+        async def drive():
+            server = ColoringServer(port=0, workers=1)
+            await server.start()
+            try:
+                port = server.port
+
+                def client_flow():
+                    with ColoringClient(port=port, timeout=60.0) as client:
+                        solved = client.solve(base, seed=1)
+                        first = client.update(
+                            solved.fingerprint, edges_added=[matching[0]]
+                        )
+                        assert first.parent_digest == solved.fingerprint
+                        assert first.update["edges_added"] == 1
+                        child = base.apply_updates(added=[matching[0]])
+                        validate_coloring(
+                            child, list(first.result.colors),
+                            max_colors=first.result.palette,
+                        )
+                        replay = client.update(
+                            solved.fingerprint, edges_added=[matching[0]]
+                        )
+                        assert replay.cached
+                        with pytest.raises(StaleParentError):
+                            client.update("f" * 64, edges_added=[[0, 1]])
+                        with pytest.raises(IncrementalUpdateError):
+                            client.update(
+                                first.fingerprint, edges_added=[matching[0]]
+                            )
+                        stats = client.stats()
+                        assert stats["graph_store"]["entries"] >= 2
+                        return True
+
+                ok = await asyncio.get_running_loop().run_in_executor(
+                    None, client_flow
+                )
+                assert ok
+            finally:
+                await server.close()
+
+        asyncio.run(drive())
+
+    def test_malformed_update_requests(self):
+        async def drive():
+            server = ColoringServer(port=0, workers=1)
+            await server.start()
+            try:
+                port = server.port
+
+                def client_flow():
+                    import json
+                    import socket
+
+                    with socket.create_connection(("127.0.0.1", port), 10) as sock:
+                        reader = sock.makefile("r", encoding="utf-8")
+
+                        def roundtrip(payload):
+                            sock.sendall(
+                                (json.dumps(payload) + "\n").encode("utf-8")
+                            )
+                            return json.loads(reader.readline())
+
+                        no_parent = roundtrip({"id": 1, "op": "update"})
+                        assert no_parent["error"]["type"] == "protocol"
+                        bad_edges = roundtrip({
+                            "id": 2, "op": "update", "parent_digest": "x" * 64,
+                            "edges_added": [[1, 2, 3]],
+                        })
+                        assert bad_edges["error"]["type"] == "protocol"
+                        # huge ids must be a protocol error (a prompt
+                        # reply), never an unanswered dead request
+                        huge = roundtrip({
+                            "id": 4, "op": "update", "parent_digest": "x" * 64,
+                            "edges_added": [[2**31, 2**31 + 1]],
+                        })
+                        assert huge["error"]["type"] == "protocol"
+                        stale = roundtrip({
+                            "id": 3, "op": "update", "parent_digest": "x" * 64,
+                            "edges_added": [[0, 1]],
+                        })
+                        assert stale["error"]["type"] == "stale_parent"
+                    return True
+
+                assert await asyncio.get_running_loop().run_in_executor(
+                    None, client_flow
+                )
+            finally:
+                await server.close()
+
+        asyncio.run(drive())
+
+
+def test_solve_results_seed_the_graph_store():
+    base, _ = updatable_instance()
+
+    async def drive():
+        async with BatchingGateway() as gateway:
+            reply = await gateway.submit(base, SolverConfig(seed=2))
+            stored = gateway.graph_store.get(reply.fingerprint)
+            assert stored is not None
+            assert stored.num_edges == base.num_edges
+            # a cache hit must not require the graph store
+            again = await gateway.submit(base, SolverConfig(seed=2))
+            assert again.cached
+
+    asyncio.run(drive())
