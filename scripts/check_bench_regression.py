@@ -42,11 +42,17 @@ def module_seconds(doc: dict) -> dict[str, float]:
     modules = doc.get("modules")
     if not isinstance(modules, dict) or not modules:
         raise ValueError("document has no 'modules' timings")
-    return {
-        name: float(entry["seconds"])
-        for name, entry in modules.items()
-        if entry.get("ok", True)
-    }
+    out: dict[str, float] = {}
+    for name, entry in modules.items():
+        if not isinstance(entry, dict) or "seconds" not in entry:
+            raise ValueError(
+                f"module {name!r} entry has no 'seconds' timing "
+                "(is this really a bench --smoke --smoke-json document?)"
+            )
+        if not entry.get("ok", True):
+            continue
+        out[name] = float(entry["seconds"])
+    return out
 
 
 def compare(
@@ -85,14 +91,24 @@ def compare(
             f"  {name:<28} base {baseline[name]:7.2f}s  cur {current[name]:7.2f}s  "
             f"raw {ratios[name]:5.2f}x  calibrated {calibrated:5.2f}x  {status}"
         )
+    # A module with no baseline entry cannot be gated at all — silently
+    # skipping it would let a brand-new bench rot from day one, so both
+    # directions are hard failures with an actionable message instead of
+    # a KeyError (or nothing).
     missing = sorted(set(baseline) - set(current))
-    if missing:
-        lines.append(f"  (missing from current run: {', '.join(missing)})")
+    for name in missing:
+        regressions.append(
+            f"{name}: present in the baseline but missing from the current "
+            "run — if the bench module was removed on purpose, refresh the "
+            "baseline with --update-baseline"
+        )
     new = sorted(set(current) - set(baseline))
-    if new:
-        lines.append(
-            f"  (not in baseline, ungated: {', '.join(new)} — "
-            "refresh with --update-baseline)"
+    for name in new:
+        regressions.append(
+            f"{name}: missing from the baseline ({len(baseline)} modules) — "
+            "commit a refreshed baseline via "
+            "scripts/check_bench_regression.py --current <smoke.json> "
+            "--update-baseline"
         )
     return regressions, lines
 

@@ -138,15 +138,27 @@ def solve_incremental(
     started = time.perf_counter()
     outcome = engine.batch_update(edges_added, edges_removed)
     child = engine.graph
+    child_colors = engine.colors
     if config.validate:
-        validate_coloring(child, engine.colors, max_colors=engine.palette or None)
+        # Repaired updates only need the dirty region checked (the parent
+        # was valid and nothing else changed); full re-solves validate in
+        # full.  See Graph.validate_coloring_region for the contract.
+        dirty = engine.last_dirty_region
+        if dirty is None:
+            validate_coloring(
+                child, child_colors, max_colors=engine.palette or None
+            )
+        else:
+            child.validate_coloring_region(
+                child_colors, dirty, max_colors=engine.palette or None
+            )
     update = outcome.as_dict()
     result = ColoringResult(
         algorithm=engine.algorithm,
         n=child.n,
         delta=engine.delta,
         palette=engine.palette,
-        colors=tuple(engine.colors),
+        colors=tuple(child_colors),
         rounds=outcome.rounds,
         phase_rounds={"incremental-repair": outcome.rounds},
         phase_stats={"incremental-repair": dict(update)},

@@ -34,13 +34,12 @@ import random
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
-from repro.graphs.bfs import bfs_ball
 from repro.graphs.blocks import blocks_through
 from repro.graphs.graph import Graph
 from repro.graphs.properties import is_clique_nodes, is_odd_cycle_nodes
 from repro.local.rounds import RoundLedger
 
-__all__ = ["DCCDetection", "detect_dccs", "virtual_graph_ruling_set"]
+__all__ = ["DCCDetection", "DCCScratch", "detect_dccs", "virtual_graph_ruling_set"]
 
 
 @dataclass
@@ -62,21 +61,23 @@ class DCCDetection:
 def _vectorized_ball_blocks(graph: Graph, radius: int):
     """Blockwise vectorized ball structure for DCC detection (or ``None``).
 
-    Yields ``(start, deg_indptr, deg_indices, deg_data, skip)`` tuples
-    covering node ranges ``[start, start+len(skip))``:
+    Yields ``(np, candidates, balls)`` tuples where ``candidates`` is an
+    int array of node ids and row ``i`` of the CSR matrix ``balls``
+    holds the radius-``r`` ball members of ``candidates[i]`` with their
+    in-ball degrees as data — the 2-core peeling input:
 
-    * ``deg_indices[deg_indptr[i]:deg_indptr[i+1]]`` — the radius-``r``
-      ball members of node ``start+i`` (rows of ``((A+I)^r A) ∘ (A+I)^r``;
-      every ball member has an in-ball neighbour, so the product pattern
-      *is* the ball), with ``deg_data`` holding each member's degree
-      inside the ball — the 2-core peeling input;
-    * ``skip[i]`` — True iff the ball is too small (< 4 nodes) or induces a
-      tree (``Σ deg < 2·|ball|``), the cheap-reject conditions.
+    * ball rows come from ``((A+I)^r A) ∘ (A+I)^r`` (every ball member
+      has an in-ball neighbour, so the product pattern *is* the ball);
+    * rows that are too small (< 4 nodes) or induce a tree
+      (``Σ deg < 2·|ball|``) are dropped — the cheap-reject conditions.
 
-    Everything is sparse-matrix arithmetic in C — the Python detection loop
-    only reads rows for the non-skipped minority.  Returns ``None`` when
-    scipy is unavailable or the graph is tiny (the caller then falls back
-    to the per-ball counting pass).
+    The consumer (:func:`detect_dccs`) peels candidate rows in batches
+    via :func:`_batched_peel`, in *waves* interleaved with selection, so
+    the adoption short-circuit ("a node inside an already-selected block
+    never detects") keeps pruning work exactly as it does on the lazy
+    pure-Python path.  Returns ``None`` when scipy is unavailable or the
+    graph is tiny (the caller then falls back to the per-ball counting
+    pass).
     """
     if graph.n < 256 or graph.num_edges == 0:
         return None
@@ -109,13 +110,183 @@ def _vectorized_ball_blocks(graph: Graph, radius: int):
                 reach.data[:] = 1
             # No sort_indices anywhere: member order is irrelevant (the
             # peel is order-free and blocks_through sorts its own roots).
-            in_ball = (reach @ adjacency).multiply(reach).tocsr()
-            twice_edges = np.asarray(in_ball.sum(axis=1)).ravel()
-            ball_sizes = np.diff(reach.indptr)
-            skip = (ball_sizes < 4) | (twice_edges < 2 * ball_sizes)
-            yield (start, in_ball.indptr, in_ball.indices, in_ball.data, skip)
+            # In-ball degrees via the SDDMM gather (pattern = reach:
+            # every ball member has its BFS parent in the ball), instead
+            # of materialising the radius-(r+1) reach that
+            # ``(reach @ A) ∘ reach`` would build just to mask it away.
+            counts = _entry_in_set_counts(np, reach, indptr, idx)
+            in_ball = sparse.csr_matrix(
+                (counts, reach.indices, reach.indptr), shape=reach.shape
+            )
+            bounds = reach.indptr
+            cumulative = np.concatenate(([0], np.cumsum(counts, dtype=np.int64)))
+            twice_edges = cumulative[bounds[1:]] - cumulative[bounds[:-1]]
+            ball_sizes = np.diff(bounds)
+            keep = (ball_sizes >= 4) & (twice_edges >= 2 * ball_sizes)
+            candidates = np.flatnonzero(keep) + start
+            if not len(candidates):
+                continue
+            yield (np, candidates, in_ball[keep])
 
     return blocks()
+
+
+class DCCScratch:
+    """Reusable O(n) scratch for :func:`detect_dccs` sweeps.
+
+    One allocation of the byte mask, the Hopcroft–Tarjan disc/low arrays
+    and the active-membership mask serves *every* ``detect_dccs`` call on
+    graphs of the same node count — the per-layer/per-component call
+    sites (``repro.core.small_components``) used to pay a fresh
+    ``O(n)`` allocation per invocation just to look at a 10-node
+    component.  All arrays are returned to their zeroed state after each
+    call, so sharing is safe.
+    """
+
+    __slots__ = ("n", "mask", "scratch", "active_mask")
+
+    def __init__(self, n: int):
+        self.n = n
+        self.mask = bytearray(n)
+        self.scratch = ([0] * n, [0] * n)
+        self.active_mask = bytearray(n)
+
+
+def _detect_in_waves(state: "_DetectState", np, candidates, balls) -> None:
+    """Peel-and-select one yielded block in geometrically growing waves.
+
+    A wave batch-peels the next chunk of *still-unselected* candidates
+    (:func:`_batched_peel`), then runs selection on the surviving cores
+    in ascending node order.  Selection adoption marks whole blocks as
+    selected, so later waves skip their members before paying any peel
+    work — the exact pruning the sequential path gets for free, while
+    each wave stays a batched array operation.  Output is identical to
+    peel-then-select per node: selection still runs in ascending
+    candidate order and re-checks ``selected_by`` first.
+    """
+    graph = state.graph
+    offsets, indices = graph.csr()
+    indptr = np.frombuffer(offsets, dtype=np.int32)
+    idx = np.frombuffer(indices, dtype=np.int32)
+    selected_by = state.selected_by
+    cand_list = candidates.tolist()
+    total = len(cand_list)
+    position = 0
+    wave = 256
+    while position < total:
+        batch: list[int] = []
+        while position < total and len(batch) < wave:
+            if selected_by[cand_list[position]] == -1:
+                batch.append(position)
+            position += 1
+        if not batch:
+            continue
+        wave *= 2
+        core = _batched_peel(
+            np, balls[np.asarray(batch, dtype=np.int64)], indptr, idx
+        )
+        core_sizes = np.diff(core.indptr)
+        centers = candidates[batch]
+        # A candidate survives only if its own node is in its core
+        # (checked patternwise, no per-row search) and >= 4 remain.
+        row_of = np.repeat(np.arange(len(batch), dtype=np.int64), core_sizes)
+        center_alive = np.zeros(len(batch), dtype=bool)
+        center_alive[row_of[core.indices == centers[row_of]]] = True
+        alive = center_alive & (core_sizes >= 4)
+        if not alive.any():
+            continue
+        c_ptr = core.indptr.tolist()
+        c_idx = core.indices.tolist()
+        for i in np.flatnonzero(alive).tolist():
+            v = cand_list[batch[i]]
+            if selected_by[v] != -1:
+                continue
+            _select_blocks(
+                state, v, c_idx[c_ptr[i] : c_ptr[i + 1]], mask_set=False
+            )
+
+
+def _batched_peel(np, core, indptr, idx):
+    """2-core peel of every row of ``core`` at once.
+
+    ``core`` is a CSR matrix whose row ``i`` holds the ball members of
+    candidate ``i`` with their in-ball degrees as data.  Each round drops
+    every degree-<= 1 entry, then recounts surviving degrees with an
+    SDDMM-style gather: expand each surviving member's G-neighbour row
+    (``indptr``/``idx`` are G's CSR buffers) and test membership against
+    a dense per-row-chunk bitmap.  Unlike a sparse ``membership @ A``
+    product this never materialises the radius-(r+1) reach of the
+    survivors — the work per round is O(Σ deg over surviving entries),
+    which is what keeps large detection radii from regressing.  The
+    fixpoint is the unique 2-core of each ball, identical to the
+    sequential per-ball peel.
+    """
+    while True:
+        weak = core.data < 2
+        if not weak.any():
+            return core
+        core.data[weak] = 0
+        core.eliminate_zeros()
+        if core.nnz == 0:
+            return core
+        core.data[:] = _entry_in_set_counts(np, core, indptr, idx)
+
+
+def _entry_in_set_counts(np, matrix, indptr, idx):
+    """Per-entry count of G-neighbours inside the entry's own row.
+
+    For every nonzero ``(i, w)`` of the CSR ``matrix``, counts
+    ``|N_G(w) ∩ row_i|`` (``indptr``/``idx`` are G's CSR buffers) — the
+    SDDMM-style kernel behind both the in-ball degree computation and
+    every peel round.  Work is O(Σ deg over entries): each entry's
+    neighbour row is gathered and tested against a dense per-row-chunk
+    membership bitmap; nothing outside the existing pattern is ever
+    materialised.
+    """
+    k, n = matrix.shape
+    counts = np.empty(matrix.nnz, dtype=np.int32)
+    row_lens = np.diff(matrix.indptr)
+    chunk = max(1, 16_000_000 // max(1, n))  # dense bitmap budget ~16MB
+    dense = np.zeros(min(chunk, k) * n, dtype=bool)  # flat-indexed bitmap
+    for row0 in range(0, k, chunk):
+        row1 = min(k, row0 + chunk)
+        lo, hi = int(matrix.indptr[row0]), int(matrix.indptr[row1])
+        if lo == hi:
+            continue
+        rows = np.repeat(
+            np.arange(row1 - row0, dtype=np.int32), row_lens[row0:row1]
+        )
+        cols = matrix.indices[lo:hi]
+        cells = rows * np.int32(n) + cols  # chunk*n stays under 2^31
+        dense[cells] = True
+        starts = indptr[cols]
+        deg = indptr[cols + 1] - starts
+        total = int(deg.sum(dtype=np.int64))
+        # int32 positions are the fast path; a chunk whose summed degrees
+        # exceed int32 (possible at huge Δ: entries/chunk × Δ) must widen
+        # or the cumsum/arange below would wrap and gather garbage.
+        postype = np.int32 if total < 2**31 - 1 else np.int64
+        bounds = np.empty(len(deg) + 1, dtype=postype)
+        bounds[0] = 0
+        np.cumsum(deg, dtype=postype, out=bounds[1:])
+        # One fused repeat carries both per-entry offsets: the shift from
+        # expansion position to G's idx buffer, and the entry's dense-row
+        # base for the membership gather.
+        per_entry = np.repeat(
+            np.stack(
+                (starts - bounds[:-1], (rows * np.int32(n)).astype(postype))
+            ),
+            deg,
+            axis=1,
+        )
+        expansion = np.arange(total, dtype=postype)
+        alive = dense[per_entry[1] + idx[expansion + per_entry[0]]]
+        cumulative = np.empty(total + 1, dtype=postype)
+        cumulative[0] = 0
+        np.cumsum(alive, dtype=postype, out=cumulative[1:])
+        counts[lo:hi] = cumulative[bounds[1:]] - cumulative[bounds[:-1]]
+        dense[cells] = False
+    return counts
 
 
 def detect_dccs(
@@ -123,6 +294,7 @@ def detect_dccs(
     radius: int,
     active: set[int] | None = None,
     ledger: RoundLedger | None = None,
+    scratch: DCCScratch | None = None,
 ) -> DCCDetection:
     """Phase (1): per-node DCC selection at detection radius ``radius``.
 
@@ -131,45 +303,41 @@ def detect_dccs(
     block.  Selections are deduplicated: nodes choosing the same block
     share one virtual node, mirroring the paper's "subgraphs sharing a
     vertex are adjacent" semantics with fewer virtual nodes.
+
+    ``scratch`` may carry a :class:`DCCScratch` of matching ``n`` reused
+    across calls (the layered/per-component pipelines call this once per
+    small component; without sharing, every call pays O(n) allocations).
     """
     ledger = ledger if ledger is not None else RoundLedger()
     ledger.charge(radius)
     detection = DCCDetection(selected_by=[-1] * graph.n, rounds=radius)
-    state = _DetectState(graph, detection)
+    state = _DetectState(graph, detection, scratch)
     if active is None:
         vectorized = _vectorized_ball_blocks(graph, radius)
         if vectorized is not None:
-            selected_by = state.selected_by
-            for start, d_ptr, d_idx, d_data, skip in vectorized:
-                d_ptr = d_ptr.tolist()
-                d_idx = d_idx.tolist()
-                d_data = d_data.tolist()
-                for i, skipped in enumerate(skip.tolist()):
-                    v = start + i
-                    if skipped or selected_by[v] != -1:
-                        continue
-                    lo, hi = d_ptr[i], d_ptr[i + 1]
-                    _select_from_core(state, v, d_idx[lo:hi], d_data[lo:hi])
+            for np, candidates, balls in vectorized:
+                _detect_in_waves(state, np, candidates, balls)
             return detection
         nodes: Iterable[int] = range(graph.n)
         allowed = None
     else:
         nodes = sorted(set(active))
-        allowed = set(active)
-    # Pure-Python fallback: per-node ball collection and counting.
+        allowed = state.active_mask
+        for v in nodes:
+            allowed[v] = 1
+    # Pure-Python fallback: per-node ball collection and counting, with a
+    # specialised frontier expansion over the reusable byte masks (no
+    # dict/deque/predicate call), visiting nodes in bfs_ball level order.
     adj = graph.adj
     selected_by = state.selected_by
+    mask = state.mask
     for v in nodes:
         if selected_by[v] != -1:
             continue
+        mask[v] = 1
+        ball = [v]
+        frontier = [v]
         if allowed is None:
-            # Specialised ball collection: frontier expansion with the
-            # reusable byte mask (no dict/deque), visiting nodes in the
-            # same level order as bfs_ball.
-            mask = state.mask
-            mask[v] = 1
-            ball = [v]
-            frontier = [v]
             for _ in range(radius):
                 nxt = []
                 for u in frontier:
@@ -180,10 +348,15 @@ def detect_dccs(
                 ball.extend(nxt)
                 frontier = nxt
         else:
-            ball = bfs_ball(graph, v, radius, allowed=allowed)
-            mask = state.mask
-            for u in ball:
-                mask[u] = 1
+            for _ in range(radius):
+                nxt = []
+                for u in frontier:
+                    for w in adj[u]:
+                        if allowed[w] and not mask[w]:
+                            mask[w] = 1
+                            nxt.append(w)
+                ball.extend(nxt)
+                frontier = nxt
         if len(ball) < 4:
             for u in ball:
                 mask[u] = 0
@@ -205,21 +378,41 @@ def detect_dccs(
         if twice_edges < 2 * len(ball):
             continue  # the ball is a tree: no 2-connected subgraph
         _select_from_core(state, v, ball, degs)
+    if allowed is not None:
+        for v in nodes:
+            allowed[v] = 0
     return detection
 
 
 class _DetectState:
-    """Shared scratch of one detection sweep (masks, dedup, adoption)."""
+    """Per-sweep state (dedup, adoption) over a reusable :class:`DCCScratch`."""
 
-    __slots__ = ("graph", "detection", "selected_by", "mask", "scratch", "index_of")
+    __slots__ = (
+        "graph", "detection", "selected_by", "mask", "scratch",
+        "active_mask", "index_of", "core_blocks",
+    )
 
-    def __init__(self, graph: Graph, detection: DCCDetection):
+    def __init__(
+        self, graph: Graph, detection: DCCDetection, shared: DCCScratch | None
+    ):
+        if shared is None:
+            shared = DCCScratch(graph.n)
+        elif shared.n != graph.n:
+            raise ValueError(
+                f"DCCScratch is sized for n={shared.n}, graph has n={graph.n}"
+            )
         self.graph = graph
         self.detection = detection
         self.selected_by = detection.selected_by
-        self.mask = bytearray(graph.n)
-        self.scratch = ([0] * graph.n, [0] * graph.n)
+        self.mask = shared.mask
+        self.scratch = shared.scratch
+        self.active_mask = shared.active_mask
         self.index_of: dict[tuple[int, ...], int] = {}
+        # Block decompositions per distinct (canonicalised) core: on
+        # locally-tree-like graphs the nodes of one cycle cluster all
+        # peel to the *same* core, so the Hopcroft–Tarjan walk and the
+        # clique/odd-cycle verdicts run once per core, not once per node.
+        self.core_blocks: dict[tuple[int, ...], list] = {}
 
 
 def _select_from_core(
@@ -232,15 +425,15 @@ def _select_from_core(
     degree-<=1 nodes first shrinks the Hopcroft–Tarjan walk from the whole
     ball (~Δ^{r+1} nodes) to the usually-tiny cycle-carrying core; ``v``
     being peeled proves no block contains it.  The set of qualifying blocks
-    is exactly the full-ball set, and the vectorized and pure-Python paths
-    agree (both feed this function); when a node lies in *several*
-    qualifying blocks, the discovery order — hence which valid DCC it
-    selects — can differ from the pre-peel implementation, whose DFS also
-    walked the peeled pendant trees.  Any qualifying block is a correct
-    selection per the paper's phase (1).
+    is exactly the full-ball set, and this sequential peel computes the
+    same (unique) 2-core as the batched sparse peel of
+    :func:`_vectorized_ball_blocks` (both feed :func:`_select_blocks`);
+    when a node lies in *several* qualifying blocks, the discovery order —
+    hence which valid DCC it selects — can differ from the pre-peel
+    implementation, whose DFS also walked the peeled pendant trees.  Any
+    qualifying block is a correct selection per the paper's phase (1).
     """
-    graph = state.graph
-    adj = graph.adj
+    adj = state.graph.adj
     mask = state.mask
     deg = state.scratch[0]  # shares the blocks_through disc scratch (zeroed)
     stack = []
@@ -271,19 +464,55 @@ def _select_from_core(
     core = [u for u in members if mask[u]]
     for u in members:
         deg[u] = 0
+    _select_blocks(state, v, core, mask_set=True)
+
+
+def _select_blocks(
+    state: _DetectState, v: int, core: list[int], mask_set: bool
+) -> None:
+    """Let ``v`` select its first qualifying block inside ``core``.
+
+    The full block decomposition of the core (plus each block's
+    clique/odd-cycle verdict) is memoised per distinct core under its
+    sorted node tuple — ``blocks_through(v)`` equals the full list
+    filtered to blocks containing ``v``, in the same discovery order, so
+    every node of a shared core selects identically to a private walk.
+    ``mask_set`` says whether ``state.mask`` already has the core bits
+    set (the sequential peel leaves it that way); the mask is always
+    clear on return.
+    """
+    graph = state.graph
+    mask = state.mask
+    key = tuple(sorted(core))
+    cached = state.core_blocks.get(key)
+    if cached is None:
+        if not mask_set:
+            for u in core:
+                mask[u] = 1
+        # All blocks of the core, in original labels; membership edges of
+        # a node-induced subgraph coincide with G's edges, so the clique /
+        # odd-cycle classification uses G's cached adjacency sets.
+        cached = []
+        for block in blocks_through(
+            graph, None, core, mask=mask, scratch=state.scratch
+        ):
+            qualifies = (
+                len(block) >= 4
+                and not is_clique_nodes(graph, block)
+                and not is_odd_cycle_nodes(graph, block)
+            )
+            cached.append((qualifies, set(block), tuple(block)))
+        state.core_blocks[key] = cached
+        for u in core:
+            mask[u] = 0
+    elif mask_set:
+        for u in core:
+            mask[u] = 0
     chosen: tuple[int, ...] | None = None
-    # Blocks through v inside the core, in original labels; membership
-    # edges of a node-induced subgraph coincide with G's edges, so the
-    # clique / odd-cycle classification uses G's cached adjacency sets.
-    for block in blocks_through(graph, v, core, mask=mask, scratch=state.scratch):
-        if len(block) < 4:
-            continue
-        if is_clique_nodes(graph, block) or is_odd_cycle_nodes(graph, block):
-            continue
-        chosen = tuple(block)
-        break
-    for u in core:
-        mask[u] = 0
+    for qualifies, block_set, block in cached:
+        if qualifies and v in block_set:
+            chosen = block
+            break
     if chosen is None:
         return
     detection = state.detection

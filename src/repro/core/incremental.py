@@ -58,7 +58,11 @@ from repro.errors import (
 )
 from repro.core.brooks import fix_uncolored_node
 from repro.graphs.graph import Graph
-from repro.graphs.validation import UNCOLORED, validate_coloring
+from repro.graphs.validation import (
+    UNCOLORED,
+    validate_coloring,
+    validate_coloring_region,
+)
 
 __all__ = ["IncrementalColoring", "UpdateOutcome"]
 
@@ -134,9 +138,13 @@ class IncrementalColoring:
         raise :class:`repro.errors.DeltaChangeError` instead, leaving the
         engine unchanged.
     validate:
-        Re-validate the full coloring after every applied update (an
-        O(n + m) pass; the property-test suite turns it on, the service
-        path validates once per op at the gateway level).
+        Re-validate the coloring after every applied update.  Repaired
+        updates check only the **dirty region** — the recolored nodes
+        plus the endpoints of inserted edges — via
+        :func:`repro.graphs.validation.validate_coloring_region`
+        (O(vol(region)); sound because the pre-update coloring was valid
+        and nothing outside the region changed); full re-solves still
+        pay the full O(n + m) :func:`validate_coloring` pass.
     """
 
     def __init__(
@@ -161,6 +169,7 @@ class IncrementalColoring:
         self.allow_resolve = allow_resolve
         self.validate = validate
         self._config = config
+        self._last_dirty: list[int] | None = []
         if validate_seed:
             validate_coloring(graph, self._colors, max_colors=self.palette or None)
         self.totals: dict[str, Any] = {
@@ -200,6 +209,15 @@ class IncrementalColoring:
     @property
     def delta(self) -> int:
         return self._delta
+
+    @property
+    def last_dirty_region(self) -> list[int] | None:
+        """Nodes the last applied op may have affected (recolored nodes
+        plus inserted-edge endpoints), or ``None`` after a full re-solve
+        (every node is then suspect and only a full validation applies).
+        """
+        dirty = self._last_dirty
+        return list(dirty) if dirty is not None else None
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
@@ -241,6 +259,9 @@ class IncrementalColoring:
         )
         new_delta = new_graph.max_degree()
         colors = list(self._colors)
+        # Dirty region of this op: inserted-edge endpoints plus whatever
+        # the repair recolors; None marks "everything" (full re-solve).
+        dirty: set[int] | None = {v for edge in added for v in edge}
         if (
             new_delta != self._delta and self.palette == self._delta
         ) or new_delta > self.palette:
@@ -250,6 +271,7 @@ class IncrementalColoring:
             # palette below the new Δ voids the repair ladder's guarantees
             # outright.  Only a fresh solve restores the contract.
             self._resolve(new_graph, outcome, reason=f"delta {self._delta}->{new_delta}")
+            dirty = None
         else:
             conflicts = [
                 (u, v)
@@ -259,6 +281,7 @@ class IncrementalColoring:
             outcome.conflicts = len(conflicts)
             if conflicts and not self._spec_supports_incremental():
                 self._resolve(new_graph, outcome, reason="algorithm-unsupported")
+                dirty = None
             elif conflicts:
                 uncolor = self._minimal_uncolor_set(conflicts, new_graph, colors)
                 before = list(colors)
@@ -268,19 +291,29 @@ class IncrementalColoring:
                     # Repair stalled (e.g. the delta carved out a clique
                     # component): last rung of the ladder.
                     self._resolve(new_graph, outcome, reason="repair-stalled")
+                    dirty = None
                 else:
-                    outcome.recolored_count = sum(
-                        1 for a, b in zip(before, colors) if a != b
-                    )
+                    changed = [
+                        v for v, (a, b) in enumerate(zip(before, colors)) if a != b
+                    ]
+                    outcome.recolored_count = len(changed)
+                    dirty.update(changed)
                     self._commit(new_graph, colors, new_delta)
             else:
                 self._commit(new_graph, colors, new_delta)
+        self._last_dirty = sorted(dirty) if dirty is not None else None
         outcome.delta = self._delta
         outcome.palette = self.palette
         if self.validate:
-            validate_coloring(
-                self._graph, self._colors, max_colors=self.palette or None
-            )
+            if dirty is None:
+                validate_coloring(
+                    self._graph, self._colors, max_colors=self.palette or None
+                )
+            else:
+                validate_coloring_region(
+                    self._graph, self._colors, dirty,
+                    max_colors=self.palette or None,
+                )
         outcome.wall_time_s = time.perf_counter() - started
         self._accumulate(outcome)
         return outcome

@@ -39,7 +39,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.errors import AlgorithmContractError, InfeasibleListColoringError
-from repro.core.dcc import detect_dccs, virtual_graph_ruling_set
+from repro.core.dcc import DCCScratch, detect_dccs, virtual_graph_ruling_set
 from repro.core.degree_choosable import degree_list_color
 from repro.core.layering import color_layers_in_reverse
 from repro.graphs.bfs import distance_layers
@@ -88,12 +88,15 @@ def color_small_components(
     report = SmallComponentsReport()
     components = _components(graph, leftover)
     costs = []
+    # One O(n) detection scratch shared by every per-component
+    # detect_dccs call (components are tiny; the allocations were not).
+    scratch = DCCScratch(graph.n)
     for component in components:
         report.component_sizes.append(len(component))
         local = RoundLedger()
         _color_component(
             graph, colors, component, delta, dcc_radius, local, rng,
-            engine, base_colors, palette, strict, report,
+            engine, base_colors, palette, strict, report, scratch,
         )
         costs.append(local.total_rounds)
     ledger.charge_max(costs)
@@ -134,6 +137,7 @@ def _color_component(
     palette: int | None,
     strict: bool,
     report: SmallComponentsReport,
+    scratch: DCCScratch | None = None,
 ) -> None:
     member_set = set(component)
 
@@ -141,7 +145,9 @@ def _color_component(
     if free_nodes:
         report.free_node_components += 1
 
-    detection = detect_dccs(graph, dcc_radius, active=member_set, ledger=ledger)
+    detection = detect_dccs(
+        graph, dcc_radius, active=member_set, ledger=ledger, scratch=scratch
+    )
     if detection.dccs:
         report.dcc_components += 1
 

@@ -131,12 +131,16 @@ def biconnected_components(graph: Graph) -> BlockDecomposition:
 
 def blocks_through(
     graph: Graph,
-    node: int,
+    node: int | None,
     members: list[int],
     mask: bytearray | None = None,
     scratch: tuple[list[int], list[int]] | None = None,
 ) -> list[list[int]]:
-    """Blocks of the subgraph induced by ``members`` that contain ``node``.
+    """Blocks of the subgraph induced by ``members`` that contain ``node``
+    (pass ``node=None`` for *all* blocks, in the same discovery order —
+    filtering the full list by membership afterwards is exactly
+    equivalent, which is what lets DCC detection share one decomposition
+    between every node of a common core).
 
     Runs Hopcroft–Tarjan directly on the original labels, restricted to the
     member set — no induced subgraph is materialised.  This is the DCC
@@ -215,7 +219,7 @@ def blocks_through(
                             edge_stack.pop()
                         block_nodes.add(parent)
                         block_nodes.add(u)
-                        if node in block_nodes:
+                        if node is None or node in block_nodes:
                             found.append(sorted(block_nodes))
     for v in members:
         disc[v] = 0

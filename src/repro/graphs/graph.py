@@ -448,12 +448,7 @@ class Graph:
                 builder.add_edge(u, v)
             return builder.build()
         new_m = self._num_edges + len(added) - len(removed)
-        new_offsets = array("i", bytes(4 * (n + 1)))
-        shift = 0
-        for v in range(n):
-            if v in touched:
-                shift += len(to_add.get(v, ())) - len(to_remove.get(v, ()))
-            new_offsets[v + 1] = offsets[v + 1] + shift
+        new_offsets = self._shifted_offsets(n, offsets, touched, to_add, to_remove)
         new_indices = array("i", bytes(4 * (2 * new_m)))
         ordered = sorted(touched)
         copy_from = 0  # source cursor (old buffer)
@@ -476,6 +471,61 @@ class Graph:
         if copy_from < len(indices):
             new_indices[copy_to:] = indices[copy_from:]
         return Graph._from_csr(n, new_offsets, new_indices, new_m)
+
+    @staticmethod
+    def _shifted_offsets(
+        n: int,
+        offsets: array,
+        touched: set[int],
+        to_add: dict[int, list[int]],
+        to_remove: dict[int, "set[int]"],
+    ) -> array:
+        """Offsets of the updated CSR: old offsets plus the running degree
+        shift of the touched rows.
+
+        Small deltas touch a handful of rows but the shift still has to be
+        propagated across all ``n + 1`` offsets; that prefix sum runs on
+        numpy when available (the update path's last O(n) Python loop),
+        with a bit-identical plain loop otherwise.
+        """
+        try:
+            import numpy as np
+        except Exception:  # pragma: no cover - numpy-free environments
+            np = None
+        if np is not None and n >= 1024:
+            deltas = np.zeros(n + 1, dtype=np.int64)
+            for v in touched:
+                deltas[v + 1] = len(to_add.get(v, ())) - len(to_remove.get(v, ()))
+            shifted = np.frombuffer(offsets, dtype=np.int32) + np.cumsum(deltas)
+            return array("i", shifted.astype(np.int32).tobytes())
+        new_offsets = array("i", bytes(4 * (n + 1)))
+        shift = 0
+        for v in range(n):
+            if v in touched:
+                shift += len(to_add.get(v, ())) - len(to_remove.get(v, ()))
+            new_offsets[v + 1] = offsets[v + 1] + shift
+        return new_offsets
+
+    def validate_coloring_region(
+        self,
+        colors: Sequence[int],
+        nodes: Iterable[int],
+        max_colors: int | None = None,
+        allow_partial: bool = False,
+    ) -> None:
+        """Validate ``colors`` on the edges incident to ``nodes`` only.
+
+        Convenience front door to :func:`repro.graphs.validation.
+        validate_coloring_region` — the O(vol(region)) dirty-region check
+        the incremental engine uses instead of a full O(n + m) pass.  See
+        that function for the soundness contract (every changed node must
+        be inside ``nodes``).
+        """
+        from repro.graphs.validation import validate_coloring_region
+
+        validate_coloring_region(
+            self, colors, nodes, max_colors=max_colors, allow_partial=allow_partial
+        )
 
     def complement_within(self, nodes: Sequence[int]) -> list[tuple[int, int]]:
         """Non-edges among ``nodes`` (pairs in original labels).

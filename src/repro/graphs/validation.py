@@ -15,12 +15,18 @@ Color conventions used throughout the package:
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.errors import ColoringError
 from repro.graphs.graph import Graph
 
-__all__ = ["UNCOLORED", "validate_coloring", "count_colors", "uncolored_nodes"]
+__all__ = [
+    "UNCOLORED",
+    "validate_coloring",
+    "validate_coloring_region",
+    "count_colors",
+    "uncolored_nodes",
+]
 
 UNCOLORED = 0
 
@@ -78,6 +84,74 @@ def validate_coloring(
     if violations:
         raise ColoringError(
             f"invalid coloring ({len(violations)}+ violations); first: {violations[0]}",
+            violations,
+        )
+
+
+def validate_coloring_region(
+    graph: Graph,
+    colors: Sequence[int],
+    nodes: Iterable[int],
+    max_colors: int | None = None,
+    allow_partial: bool = False,
+    max_violations: int = 20,
+) -> None:
+    """Validate a coloring on the edges incident to ``nodes`` only.
+
+    The dirty-region counterpart of :func:`validate_coloring`: instead of
+    an O(n + m) full pass, only the given region — typically the nodes an
+    incremental repair recolored plus the endpoints of inserted edges —
+    and its incident edges are checked, an O(vol(region)) pass.
+
+    **Soundness contract**: if the coloring was valid before a change and
+    every node whose color changed (plus both endpoints of every added
+    edge) is in ``nodes``, then this check accepts exactly when the full
+    :func:`validate_coloring` accepts.  Corruption strictly *outside* the
+    region is invisible here by design — callers that cannot bound where
+    changes happened must use the full validator.
+
+    Raises :class:`ColoringError` on failure, like the full validator.
+    """
+    if len(colors) != graph.n:
+        raise ColoringError(
+            f"coloring has {len(colors)} entries for a graph on {graph.n} nodes"
+        )
+    region_set = set(nodes)
+    region = sorted(region_set)
+    violations: list[str] = []
+    # Read neighbour rows straight off the CSR buffers: touching
+    # ``graph.adj`` would lazily materialise all O(n + m) adjacency
+    # lists on a fresh graph — exactly the cost this validator exists
+    # to avoid on the incremental path, whose child graphs are new.
+    offsets, indices = graph.csr()
+    for v in region:
+        if not 0 <= v < graph.n:
+            raise ColoringError(f"region node {v} out of range for n={graph.n}")
+        c = colors[v]
+        if c == UNCOLORED:
+            if not allow_partial:
+                violations.append(f"node {v} is uncolored")
+        elif c < 1 or (max_colors is not None and c > max_colors):
+            violations.append(f"node {v} has out-of-palette color {c}")
+        else:
+            for u in indices[offsets[v] : offsets[v + 1]]:
+                if colors[u] == c:
+                    # an edge with both endpoints in the region is
+                    # visited twice; report it from the smaller one only
+                    if u in region_set and u < v:
+                        continue
+                    a, b = (u, v) if u < v else (v, u)
+                    violations.append(
+                        f"edge ({a}, {b}) is monochromatic (color {c})"
+                    )
+                    if len(violations) >= max_violations:
+                        break
+        if len(violations) >= max_violations:
+            break
+    if violations:
+        raise ColoringError(
+            f"invalid coloring in region ({len(violations)}+ violations); "
+            f"first: {violations[0]}",
             violations,
         )
 

@@ -108,43 +108,172 @@ def list_coloring_random(
     """Randomized trials until every target is colored (or the cap hits).
 
     One iteration = one synchronous round: propose, compare with
-    neighbours, commit conflict-free proposals.  Returns statistics; any
-    nodes still uncolored after ``max_iterations`` are simply left
-    uncolored for the caller (used by the hybrid engine).
+    neighbours, commit conflict-free proposals.  All of a round's
+    randomness comes from a single ``rng.randbytes`` draw (one 64-bit key
+    per live node, in ascending node order); node ``v`` proposes its
+    ``key % |options|``-th smallest available color.  The round itself
+    runs vectorized over the CSR buffers when numpy is available, with a
+    bit-identical pure-Python fallback — both consume the same entropy
+    and commit the same colors.  Returns statistics; any nodes still
+    uncolored after ``max_iterations`` are simply left uncolored for the
+    caller (used by the hybrid engine).
     """
     ledger = ledger if ledger is not None else RoundLedger()
     rng = rng if rng is not None else random.Random(0)
     if strict:
         _check_deg_plus_one(graph, colors, targets, max_colors)
     stats = ListColoringStats()
-    uncolored = {v for v in targets if colors[v] == UNCOLORED}
-    adj = graph.adj
+    uncolored = sorted(v for v in targets if colors[v] == UNCOLORED)
+    try:
+        import numpy as np
+    except Exception:  # pragma: no cover - numpy-free environments
+        np = None
+    state = None
     while uncolored:
         if max_iterations is not None and stats.iterations >= max_iterations:
             break
         stats.iterations += 1
         ledger.charge(1)
-        proposals: dict[int, int] = {}
-        for v in uncolored:
-            # Inline available_colors: this is the innermost loop of every
-            # randomized layer-coloring phase.
-            taken = {colors[u] for u in adj[v]}
-            options = [c for c in range(1, max_colors + 1) if c not in taken]
-            if not options:
-                raise InfeasibleListColoringError(
-                    f"node {v} has no available color (caller violated deg+1)"
-                )
-            proposals[v] = options[rng.randrange(len(options))]
-        committed = []
-        for v in uncolored:
-            mine = proposals[v]
-            if all(proposals.get(u) != mine for u in adj[v]):
-                committed.append(v)
-        for v in committed:
-            colors[v] = proposals[v]
-            uncolored.discard(v)
+        buf = rng.randbytes(8 * len(uncolored))
+        if np is not None and len(uncolored) >= 64:
+            if state is None:
+                state = _VectorRoundState(graph, colors, np)
+            uncolored = state.run_round(uncolored, buf, max_colors)
+        else:
+            uncolored = _python_trial_round(
+                graph, colors, uncolored, buf, max_colors
+            )
     stats.leftover_after_trials = len(uncolored)
     return stats
+
+
+def _python_trial_round(
+    graph: Graph,
+    colors: list[int],
+    uncolored: list[int],
+    buf: bytes,
+    max_colors: int,
+) -> list[int]:
+    """One propose/compare/commit round, pure Python.
+
+    Returns the still-uncolored nodes (ascending).  Must stay
+    bit-identical to :meth:`_VectorRoundState.run_round`.
+    """
+    adj = graph.adj
+    proposals: dict[int, int] = {}
+    for pos, v in enumerate(uncolored):
+        # Inline available_colors: this is the innermost loop of every
+        # randomized layer-coloring phase.
+        taken = {colors[u] for u in adj[v]}
+        options = [c for c in range(1, max_colors + 1) if c not in taken]
+        if not options:
+            raise InfeasibleListColoringError(
+                f"node {v} has no available color (caller violated deg+1)"
+            )
+        key = int.from_bytes(buf[8 * pos : 8 * pos + 8], "little")
+        proposals[v] = options[key % len(options)]
+    leftover = []
+    for v in uncolored:
+        mine = proposals[v]
+        if all(proposals.get(u) != mine for u in adj[v]):
+            colors[v] = mine
+        else:
+            leftover.append(v)
+    return leftover
+
+
+class _VectorRoundState:
+    """Per-call scratch of the vectorized trial rounds.
+
+    Keeps a numpy mirror of the color array (updated incrementally as
+    rounds commit) and a full-length proposal array, so each round only
+    does O(volume of the live set) work.
+    """
+
+    __slots__ = ("np", "graph", "colors", "offsets", "indices", "colors_np", "props")
+
+    def __init__(self, graph: Graph, colors: list[int], np):
+        self.np = np
+        self.graph = graph
+        self.colors = colors
+        offsets, indices = graph.csr()
+        self.offsets = np.frombuffer(offsets, dtype=np.int32)
+        self.indices = np.frombuffer(indices, dtype=np.int32)
+        self.colors_np = np.array(colors, dtype=np.int64)
+        self.props = np.zeros(graph.n, dtype=np.int64)
+
+    def run_round(
+        self, uncolored: list[int], buf: bytes, max_colors: int
+    ) -> list[int]:
+        """Numpy twin of :func:`_python_trial_round` (bit-identical).
+
+        The proposal phase works on the (live × palette) availability
+        matrix in row chunks bounded by a cell budget, so peak scratch
+        stays O(budget) however large the palette — the per-node Python
+        loop this replaces only ever needed O(Δ) scratch, and a huge-Δ
+        layer must not trade that for gigabyte temporaries.
+        """
+        np = self.np
+        live = np.asarray(uncolored, dtype=np.int64)
+        keys = np.frombuffer(buf, dtype="<u8")
+        chosen = np.empty(len(live), dtype=np.int64)
+        chunk = max(1, 4_000_000 // (max_colors + 1))
+        for lo in range(0, len(live), chunk):
+            hi = min(len(live), lo + chunk)
+            self._propose(live[lo:hi], keys[lo:hi], max_colors, chosen[lo:hi])
+        self.props[live] = chosen
+        # Conflict: any neighbour proposing the same color (non-proposers
+        # hold 0, which never equals a 1-based proposal).
+        nbrs, lens, bounds = self._neighbour_rows(live)
+        same = np.concatenate(
+            ([0], np.cumsum(self.props[nbrs] == np.repeat(chosen, lens)))
+        )
+        conflicted = (same[bounds[1:]] - same[bounds[:-1]]) > 0
+        committed = live[~conflicted]
+        committed_colors = chosen[~conflicted]
+        self.props[live] = 0
+        self.colors_np[committed] = committed_colors
+        colors = self.colors
+        for v, c in zip(committed.tolist(), committed_colors.tolist()):
+            colors[v] = c
+        return live[conflicted].tolist()
+
+    def _neighbour_rows(self, live):
+        """Concatenated CSR neighbour rows of ``live`` plus row geometry."""
+        np = self.np
+        starts = self.offsets[live]
+        lens = (self.offsets[live + 1] - starts).astype(np.int64)
+        bounds = np.concatenate(([0], np.cumsum(lens)))
+        flat = (
+            np.arange(int(bounds[-1]), dtype=np.int64)
+            - np.repeat(bounds[:-1], lens)
+            + np.repeat(starts.astype(np.int64), lens)
+        )
+        return self.indices[flat].astype(np.int64), lens, bounds
+
+    def _propose(self, live, keys, max_colors: int, out) -> None:
+        """Fill ``out`` with each live node's proposed color."""
+        np = self.np
+        nbrs, lens, _ = self._neighbour_rows(live)
+        rows = np.repeat(np.arange(len(live), dtype=np.int64), lens)
+        # forbidden[i, c]: some neighbour of live[i] wears color c
+        # (column 0 soaks up UNCOLORED and out-of-palette neighbours —
+        # colors beyond max_colors exclude nothing, as in the fallback).
+        forbidden = np.zeros((len(live), max_colors + 1), dtype=bool)
+        ncolors = self.colors_np[nbrs]
+        forbidden[rows, np.where(ncolors > max_colors, 0, ncolors)] = True
+        avail = ~forbidden[:, 1:]
+        counts = avail.sum(axis=1)
+        if not counts.all():
+            v = int(live[int(np.argmin(counts != 0))])
+            raise InfeasibleListColoringError(
+                f"node {v} has no available color (caller violated deg+1)"
+            )
+        picks = (keys % counts.astype(np.uint64)).astype(np.int32)
+        # Proposal = the picks[i]-th smallest available color: the column
+        # where the running count of available colors first hits picks+1.
+        rank = np.cumsum(avail, axis=1, dtype=np.int32)
+        out[:] = np.argmax(avail & (rank == (picks + 1)[:, None]), axis=1) + 1
 
 
 def list_coloring_hybrid(

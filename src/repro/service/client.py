@@ -30,6 +30,9 @@ from typing import Any
 from repro.api.config import SolverConfig
 from repro.api.result import ColoringResult
 from repro.errors import (
+    EdgeAlreadyPresentError,
+    EdgeNotPresentError,
+    GraphError,
     IncrementalUpdateError,
     ReproError,
     ServiceOverloadedError,
@@ -120,6 +123,40 @@ def _parse_solve_reply(reply: dict[str, Any]) -> SolveReply:
     )
 
 
+def _fallback_child_graph(
+    fallback_graph: Any, edges_added: Any, edges_removed: Any
+) -> Graph:
+    """The post-delta graph for the stale-parent re-solve fallback.
+
+    ``fallback_graph`` is the *parent* instance in any shape
+    :func:`graph_payload` accepts; the delta is applied locally (same
+    validation as the server's engine would run) to produce the child
+    the fallback ``solve`` uploads.  Presence/absence rejections keep
+    the update API's typed errors (the server path raises
+    :class:`EdgeAlreadyPresentError` / :class:`EdgeNotPresentError` for
+    the same deltas; the exception type must not depend on whether the
+    parent was still cached); range and self-loop errors keep their
+    :class:`GraphError` identity, exactly like the engine.
+    """
+    if not isinstance(fallback_graph, Graph):
+        payload = graph_payload(fallback_graph)
+        fallback_graph = Graph(
+            payload["n"], [tuple(e) for e in payload["edges"]]
+        )
+    try:
+        return fallback_graph.apply_updates(
+            added=[tuple(e) for e in edges_added],
+            removed=[tuple(e) for e in edges_removed],
+        )
+    except GraphError as exc:
+        message = str(exc)
+        if "already present" in message or "added and removed" in message:
+            raise EdgeAlreadyPresentError(message) from exc
+        if "not present" in message or "removed twice" in message:
+            raise EdgeNotPresentError(message) from exc
+        raise
+
+
 def _update_request(
     parent_digest: str,
     edges_added: Any,
@@ -187,23 +224,44 @@ class ColoringClient:
         edges_added: Any = (),
         edges_removed: Any = (),
         config: SolverConfig | dict | None = None,
+        fallback_graph: Any = None,
         **overrides: Any,
     ) -> SolveReply:
         """Apply an edge delta to a previously served instance.
 
         ``parent_digest`` is the ``fingerprint`` of an earlier solve (or
         update) reply; the returned reply's ``fingerprint`` is the child
-        digest for chaining.  Raises
-        :class:`repro.errors.StaleParentError` when the server evicted
-        the parent — fall back to a full :meth:`solve`.
+        digest for chaining.
+
+        When the server evicted the parent it answers ``stale_parent``;
+        passing the parent instance as ``fallback_graph`` (any shape
+        :meth:`solve` accepts) turns that error into an automatic
+        re-solve: the delta is applied locally and the *child* graph is
+        solved fresh — one round trip that re-seeds the server's graph
+        store, so the reply's ``fingerprint`` is again a valid parent
+        for further updates (``update`` and ``parent_digest`` are None
+        on such a re-seeded reply, distinguishing it from a repair).
+        Without ``fallback_graph``,
+        :class:`repro.errors.StaleParentError` propagates for the caller
+        to handle.
         """
-        return _parse_solve_reply(
-            self._roundtrip(
-                _update_request(
-                    parent_digest, edges_added, edges_removed, config, overrides
+        # Materialize once: the wire request and the fallback both read
+        # the deltas, and a generator argument must not arrive drained.
+        edges_added = [tuple(e) for e in edges_added]
+        edges_removed = [tuple(e) for e in edges_removed]
+        try:
+            return _parse_solve_reply(
+                self._roundtrip(
+                    _update_request(
+                        parent_digest, edges_added, edges_removed, config, overrides
+                    )
                 )
             )
-        )
+        except StaleParentError:
+            if fallback_graph is None:
+                raise
+            child = _fallback_child_graph(fallback_graph, edges_added, edges_removed)
+            return self.solve(child, config, **overrides)
 
     def stats(self) -> dict[str, Any]:
         reply = self._roundtrip({"op": "stats"})
@@ -301,16 +359,26 @@ class AsyncColoringClient:
         edges_added: Any = (),
         edges_removed: Any = (),
         config: SolverConfig | dict | None = None,
+        fallback_graph: Any = None,
         **overrides: Any,
     ) -> SolveReply:
-        """Async counterpart of :meth:`ColoringClient.update`."""
-        return _parse_solve_reply(
-            await self._roundtrip(
-                _update_request(
-                    parent_digest, edges_added, edges_removed, config, overrides
+        """Async counterpart of :meth:`ColoringClient.update` (including
+        the ``fallback_graph`` stale-parent auto re-solve)."""
+        edges_added = [tuple(e) for e in edges_added]
+        edges_removed = [tuple(e) for e in edges_removed]
+        try:
+            return _parse_solve_reply(
+                await self._roundtrip(
+                    _update_request(
+                        parent_digest, edges_added, edges_removed, config, overrides
+                    )
                 )
             )
-        )
+        except StaleParentError:
+            if fallback_graph is None:
+                raise
+            child = _fallback_child_graph(fallback_graph, edges_added, edges_removed)
+            return await self.solve(child, config, **overrides)
 
     async def stats(self) -> dict[str, Any]:
         reply = await self._roundtrip({"op": "stats"})

@@ -54,13 +54,20 @@ class TestCompare:
         assert regressions == []
         assert any("ungated" in line for line in lines)
 
-    def test_new_and_missing_modules_reported_not_fatal(self):
+    def test_new_module_without_baseline_fails_with_clear_message(self):
         current = dict(BASE, brand_new=9.9)
+        regressions, _ = cbr.compare(current, dict(BASE))
+        assert len(regressions) == 1
+        assert regressions[0].startswith("brand_new:")
+        assert "--update-baseline" in regressions[0]
+
+    def test_module_missing_from_current_fails_with_clear_message(self):
+        current = dict(BASE)
         del current["e2"]
-        regressions, lines = cbr.compare(current, dict(BASE))
-        assert regressions == []
-        joined = "\n".join(lines)
-        assert "brand_new" in joined and "e2" in joined
+        regressions, _ = cbr.compare(current, dict(BASE))
+        assert len(regressions) == 1
+        assert regressions[0].startswith("e2:")
+        assert "missing from the current run" in regressions[0]
 
     def test_disjoint_modules_is_an_error(self):
         with pytest.raises(ValueError, match="no common modules"):
@@ -83,6 +90,11 @@ class TestModuleSeconds:
     def test_rejects_empty_documents(self):
         with pytest.raises(ValueError):
             cbr.module_seconds({})
+
+    def test_entry_without_seconds_is_a_value_error_not_keyerror(self):
+        doc = {"modules": {"a": {"ok": True}}}
+        with pytest.raises(ValueError, match="no 'seconds'"):
+            cbr.module_seconds(doc)
 
 
 class TestMain:

@@ -288,3 +288,84 @@ class TestVectorizedPathParity:
                 dcc_mod._vectorized_ball_blocks = real
             assert vec.dccs == fallback.dccs
             assert vec.selected_by == fallback.selected_by
+
+    def test_dcc_batched_peel_agrees_on_dcc_rich_graphs(self):
+        # The torus is DCCs-everywhere: every ball survives the cheap
+        # rejects, so the batched sparse 2-core peel (not just the skip
+        # logic) is what must match the sequential per-ball peel.
+        import repro.core.dcc as dcc_mod
+        from repro.graphs.generators import torus_grid
+
+        for radius in (2, 3):
+            graph = torus_grid(20, 20)
+            vec = dcc_mod.detect_dccs(graph, radius)
+            real = dcc_mod._vectorized_ball_blocks
+            dcc_mod._vectorized_ball_blocks = lambda *a, **k: None
+            try:
+                fallback = dcc_mod.detect_dccs(graph, radius)
+            finally:
+                dcc_mod._vectorized_ball_blocks = real
+            assert vec.dccs == fallback.dccs
+            assert vec.selected_by == fallback.selected_by
+            assert vec.nodes_in_dccs == fallback.nodes_in_dccs
+            assert vec.dccs
+
+    def test_trial_rounds_vectorized_matches_python(self):
+        # list_coloring_random: the numpy round and the pure-Python round
+        # consume the same randbytes draw and must commit identical colors
+        # (the vectorized gate needs >= 64 live nodes, so n is above it).
+        import random as random_mod
+
+        import repro.primitives.list_coloring as lc
+        from repro.graphs.generators import random_regular_graph, torus_grid
+        from repro.graphs.validation import UNCOLORED, validate_coloring
+        from repro.local.rounds import RoundLedger
+
+        workloads = [
+            (random_regular_graph(300, 5, seed=1), 6),
+            (torus_grid(17, 19), 5),
+        ]
+        for graph, palette in workloads:
+            for seed in range(3):
+                vec_colors = [UNCOLORED] * graph.n
+                rng = random_mod.Random(seed)
+                vec_stats = lc.list_coloring_random(
+                    graph, vec_colors, set(range(graph.n)), palette,
+                    RoundLedger(), rng,
+                )
+                vec_tail = rng.random()
+
+                py_colors = [UNCOLORED] * graph.n
+                rng = random_mod.Random(seed)
+
+                class _NoVector:
+                    def __init__(self, *args, **kwargs):
+                        raise AssertionError("vectorized path must be off")
+
+                real = lc._VectorRoundState
+                lc._VectorRoundState = _NoVector
+                try:
+                    # force the scalar rounds by lying about numpy
+                    import builtins
+
+                    orig_import = builtins.__import__
+
+                    def no_numpy(name, *args, **kwargs):
+                        if name == "numpy":
+                            raise ImportError("forced")
+                        return orig_import(name, *args, **kwargs)
+
+                    builtins.__import__ = no_numpy
+                    try:
+                        py_stats = lc.list_coloring_random(
+                            graph, py_colors, set(range(graph.n)), palette,
+                            RoundLedger(), rng,
+                        )
+                    finally:
+                        builtins.__import__ = orig_import
+                finally:
+                    lc._VectorRoundState = real
+                assert vec_colors == py_colors
+                assert vec_stats.iterations == py_stats.iterations
+                assert vec_tail == rng.random()
+                validate_coloring(graph, vec_colors, max_colors=palette)

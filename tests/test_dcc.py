@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.core.dcc import detect_dccs, virtual_graph_ruling_set
+from repro.core.dcc import DCCScratch, detect_dccs, virtual_graph_ruling_set
 from repro.graphs.generators import (
     complete_graph_minus_edge,
     high_girth_regular_graph,
@@ -61,6 +61,66 @@ class TestDetection:
         assert len(detection.nodes_in_dccs) < g.n // 4
         for dcc in detection.dccs:
             assert is_degree_choosable_component(g, dcc)
+
+
+class TestSharedScratch:
+    """detect_dccs(scratch=...) — the hoisted per-layer mask/scratch."""
+
+    def test_scratch_reuse_matches_fresh_allocation(self):
+        g = torus_grid(8, 8)
+        scratch = DCCScratch(g.n)
+        layers = [
+            set(range(0, 32)),
+            set(range(16, 64)),
+            set(range(0, 64, 3)) | set(range(1, 20)),
+        ]
+        for active in layers:
+            fresh = detect_dccs(g, radius=2, active=active)
+            shared = detect_dccs(g, radius=2, active=active, scratch=scratch)
+            assert fresh.dccs == shared.dccs
+            assert fresh.selected_by == shared.selected_by
+            assert fresh.nodes_in_dccs == shared.nodes_in_dccs
+        # the scratch is handed back zeroed every time
+        assert not any(scratch.mask)
+        assert not any(scratch.active_mask)
+        assert not any(scratch.scratch[0]) and not any(scratch.scratch[1])
+
+    def test_scratch_reuse_on_full_graph_sweeps(self):
+        g = random_regular_graph(300, 4, seed=3)
+        scratch = DCCScratch(g.n)
+        fresh = detect_dccs(g, radius=2)
+        shared = detect_dccs(g, radius=2, scratch=scratch)
+        assert fresh.dccs == shared.dccs
+        assert fresh.selected_by == shared.selected_by
+
+    def test_scratch_size_mismatch_rejected(self):
+        g = torus_grid(5, 5)
+        with pytest.raises(ValueError, match="sized for"):
+            detect_dccs(g, radius=2, scratch=DCCScratch(g.n + 1))
+
+    def test_layered_pipeline_outputs_unchanged_fixed_seed(self):
+        """The components pipeline (per-component detect_dccs through the
+        shared scratch) must keep its fixed-seed outputs: same digest via
+        the facade whether or not a warm scratch is in play."""
+        import hashlib
+
+        from repro.api import solve
+        from repro.graphs.generators import disjoint_union
+        from repro.graphs.validation import validate_coloring
+
+        graph = disjoint_union(
+            [torus_grid(4, 5), complete_graph_minus_edge(6), torus_grid(3, 7)]
+        )
+        digests = set()
+        for _ in range(2):
+            result = solve(graph, algorithm="components", seed=2)
+            validate_coloring(graph, list(result.colors), max_colors=result.palette)
+            digests.add(
+                hashlib.sha256(
+                    ",".join(map(str, result.colors)).encode()
+                ).hexdigest()
+            )
+        assert len(digests) == 1
 
 
 class TestVirtualRulingSet:

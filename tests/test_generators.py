@@ -1,5 +1,7 @@
 """Generator tests, including hypothesis property tests on parameters."""
 
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -95,6 +97,112 @@ class TestRandomRegular:
         a = random_regular_graph(60, 3, seed=5)
         b = random_regular_graph(60, 3, seed=6)
         assert sorted(a.edges()) != sorted(b.edges())
+
+
+class TestConfigurationModelPaths:
+    """The numpy pairing/repair path and the pure-Python fallback must be
+    bit-identical — same edge list, same rng stream position."""
+
+    @given(
+        n=st.integers(min_value=8, max_value=120),
+        d=st.integers(min_value=1, max_value=9),
+        seed=st.integers(min_value=0, max_value=1 << 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_vectorized_attempt_matches_python(self, n, d, seed):
+        numpy = pytest.importorskip("numpy")
+        from repro.graphs.generators import _attempt_python, _attempt_vectorized
+
+        if (n * d) % 2 == 1:
+            n += 1
+        rng_a, rng_b = random.Random(seed), random.Random(seed)
+        a = _attempt_python(n, d, rng_a, 50)
+        b = _attempt_vectorized(n, d, rng_b, 50, numpy)
+        assert a == b
+        # both paths consumed exactly the same entropy
+        assert rng_a.random() == rng_b.random()
+
+    def test_generator_identical_without_numpy(self, monkeypatch):
+        """random_regular_graph output must not depend on numpy presence."""
+        import builtins
+
+        with_np = random_regular_graph(400, 7, seed=11)
+        real_import = builtins.__import__
+
+        def no_numpy(name, *args, **kwargs):
+            if name == "numpy":
+                raise ImportError("forced for the fallback path")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "__import__", no_numpy)
+        without_np = random_regular_graph(400, 7, seed=11)
+        assert with_np.adj == without_np.adj
+
+
+class TestCirculantFallback:
+    """Property tests for _circulant_with_swaps — the dense/small escape
+    hatch of random_regular_graph (d near n, including odd d): the swap
+    phase must preserve exact d-regularity and simplicity, and the odd-d
+    matching rung must stay valid for every even n (odd n//2 included)."""
+
+    @given(
+        n=st.integers(min_value=4, max_value=60),
+        gap=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=1 << 20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_regular_simple_near_n(self, n, gap, seed):
+        from repro.graphs.generators import _circulant_with_swaps
+
+        d = n - gap  # the dense regime where the stub pairing collides
+        if d < 1:
+            return
+        if (n * d) % 2 == 1:
+            d -= 1
+            if d < 1:
+                return
+        graph = _circulant_with_swaps(n, d, random.Random(seed))
+        assert graph.n == n
+        assert graph.num_edges == n * d // 2
+        degrees = graph.degrees()
+        assert degrees == [d] * n, f"swap phase broke d-regularity (n={n}, d={d})"
+        edges = sorted(graph.edges())
+        assert len(edges) == len(set(edges))
+        assert all(u != v and 0 <= u < v < n for u, v in edges)
+
+    @given(
+        half=st.integers(min_value=2, max_value=25),
+        seed=st.integers(min_value=0, max_value=1 << 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_odd_d_matching_rung(self, half, seed):
+        """Odd d on n = 2·half nodes (odd halves included): the +n/2
+        matching must complete every degree exactly once."""
+        from repro.graphs.generators import _circulant_with_swaps
+
+        n = 2 * half
+        d = min(n - 1, 2 * (half // 2) + 1)  # odd, < n
+        graph = _circulant_with_swaps(n, d, random.Random(seed))
+        assert graph.degrees() == [d] * n
+        assert graph.num_edges == n * d // 2
+
+    def test_seed_determinism(self):
+        from repro.graphs.generators import _circulant_with_swaps
+
+        for n, d in [(10, 9), (14, 11), (22, 19), (12, 7)]:
+            a = _circulant_with_swaps(n, d, random.Random(5))
+            b = _circulant_with_swaps(n, d, random.Random(5))
+            c = _circulant_with_swaps(n, d, random.Random(6))
+            assert sorted(a.edges()) == sorted(b.edges())
+            assert a.degrees() == c.degrees() == [d] * n
+
+    def test_dense_public_path_uses_fallback_and_stays_regular(self):
+        # d = n-1 (complete graph) and d = n-2: stub pairing keeps
+        # colliding, so random_regular_graph must reach the circulant
+        # fallback and still deliver exact regularity.
+        for n, d in [(8, 7), (10, 8), (12, 11)]:
+            graph = random_regular_graph(n, d, seed=2)
+            assert graph.degrees() == [d] * n
 
 
 class TestHighGirth:

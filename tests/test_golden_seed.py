@@ -42,16 +42,21 @@ def _graphs():
 
 
 # (graph, seed) -> (rounds, colors digest).  Captured from the seed
-# revision of this repository and reproduced unchanged by the CSR core.
+# revision of this repository; regenerated for PR 5, whose batched
+# randomness scheme (one randbytes draw per trial round / generator
+# pairing instead of per-node randrange calls) legitimately moved the
+# fixed-seed executions — outputs remain valid Δ-colorings, and the
+# vectorized and pure-Python paths still reproduce each digest
+# bit-for-bit (see tests/test_csr_equivalence.py).
 GOLDEN = {
     ("petersen", 0): (74, "a0f687786434f188"),
     ("petersen", 1): (74, "a0f687786434f188"),
-    ("torus_6x7", 0): (75, "fad6852d01bec997"),
-    ("torus_6x7", 1): (75, "964735eeb1ea9688"),
-    ("hypercube_4", 0): (70, "f3fc92cb47ae849f"),
-    ("hypercube_4", 1): (70, "a59e04b3e03a0697"),
-    ("rrg_64_5_s3", 0): (68, "b990a77ceb4b8ea6"),
-    ("rrg_64_5_s3", 1): (72, "b2fbe49f7062a6f3"),
+    ("torus_6x7", 0): (76, "7c98187d32601726"),
+    ("torus_6x7", 1): (75, "b31fff3ccbb649ea"),
+    ("hypercube_4", 0): (70, "dcb764b8792e5099"),
+    ("hypercube_4", 1): (70, "3c051ad063a1528e"),
+    ("rrg_64_5_s3", 0): (72, "4c7e6408f2414511"),
+    ("rrg_64_5_s3", 1): (72, "81316e56c9eec9a0"),
 }
 
 # The smallest instance is additionally pinned as a literal vector so a

@@ -213,6 +213,86 @@ class TestFullResolveFallback:
         assert outcome.resolve_reason == "algorithm-unsupported"
 
 
+class TestDirtyRegion:
+    """The dirty-region tracking behind the O(vol(region)) validation."""
+
+    def test_dirty_region_covers_changes_and_added_endpoints(self):
+        base, matching, result = updatable_instance()
+        engine = IncrementalColoring.from_result(base, result, validate=True)
+        before = engine.colors
+        u, v = matching[0]
+        engine.insert_edge(u, v)
+        after = engine.colors
+        dirty = set(engine.last_dirty_region)
+        changed = {w for w in range(base.n) if before[w] != after[w]}
+        assert changed <= dirty
+        assert {u, v} <= dirty
+
+    def test_full_resolve_reports_no_region(self):
+        base, matching, result = updatable_instance()
+        engine = IncrementalColoring.from_result(base, result, validate=True)
+        # deleting edges at one node lowers Δ -> full re-solve
+        victim = next(v for v in range(base.n) if base.degree(v) == engine.delta)
+        for w in list(base.adj[victim])[1:]:
+            engine.delete_edge(victim, w)
+        if engine.totals["full_resolves"]:
+            assert engine.last_dirty_region is None
+
+    def test_region_validation_stream_matches_full_validation(self):
+        """A long mixed stream with per-op region validation on: the end
+        state must also pass the full O(n + m) validator — region checks
+        never let an invalid intermediate state survive silently."""
+        base, matching, result = updatable_instance(n=64, delta=4, slack=8)
+        engine = IncrementalColoring.from_result(base, result, validate=True)
+        for i, (u, v) in enumerate(matching):
+            engine.insert_edge(u, v)
+            if i % 2:
+                engine.delete_edge(u, v)
+        validate_coloring(
+            engine.graph, engine.colors, max_colors=engine.palette or None
+        )
+
+    def test_engine_region_validation_catches_bad_repair(self, monkeypatch):
+        """If the repair rung produced a conflicting color, the dirty
+        region contains that node, so region validation must catch it."""
+        from repro.errors import ColoringError
+
+        base, matching, result = updatable_instance()
+        engine = IncrementalColoring.from_result(base, result, validate=True)
+        u, v = next(
+            e for e in matching if result.colors[e[0]] == result.colors[e[1]]
+        )
+
+        def sabotage(graph, colors, uncolor, outcome):
+            for w in uncolor:
+                colors[w] = colors[
+                    next(x for x in graph.adj[w] if colors[x] != 0)
+                ]
+
+        monkeypatch.setattr(engine, "_repair", sabotage)
+        with pytest.raises(ColoringError):
+            engine.insert_edge(u, v)
+
+    def test_facade_region_validation_catches_bad_repair(self, monkeypatch):
+        from repro.core import incremental as inc_mod
+        from repro.errors import ColoringError
+
+        base, matching, result = updatable_instance()
+        u, v = next(
+            e for e in matching if result.colors[e[0]] == result.colors[e[1]]
+        )
+
+        def sabotage(self, graph, colors, uncolor, outcome):
+            for w in uncolor:
+                colors[w] = colors[
+                    next(x for x in graph.adj[w] if colors[x] != 0)
+                ]
+
+        monkeypatch.setattr(inc_mod.IncrementalColoring, "_repair", sabotage)
+        with pytest.raises(ColoringError):
+            solve_incremental(base, result, edges_added=[(u, v)])
+
+
 class TestSolveIncrementalFacade:
     def test_returns_chainable_child(self):
         base, matching, result = updatable_instance()

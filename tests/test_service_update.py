@@ -313,6 +313,125 @@ class TestUpdateOverTCP:
 
         asyncio.run(drive())
 
+    def test_stale_parent_fallback_resolves_and_reseeds(self):
+        """update(fallback_graph=...) must turn a stale_parent error into
+        a fresh solve of the locally-applied child and re-seed the chain:
+        the reply's fingerprint is a valid parent for further updates."""
+        base, matching = updatable_instance()
+
+        async def drive():
+            server = ColoringServer(port=0, workers=1)
+            await server.start()
+            try:
+                port = server.port
+
+                def client_flow():
+                    with ColoringClient(port=port, timeout=60.0) as client:
+                        # unknown digest without a fallback still raises
+                        with pytest.raises(StaleParentError):
+                            client.update("e" * 64, edges_added=[matching[0]])
+                        # a one-shot iterable must survive both the wire
+                        # request and the local fallback delta
+                        reseeded = client.update(
+                            "e" * 64,
+                            edges_added=(e for e in [matching[0]]),
+                            fallback_graph=base,
+                            seed=1,
+                        )
+                        # a re-solve, not a repair: no lineage fields
+                        assert reseeded.update is None
+                        assert reseeded.parent_digest is None
+                        child = base.apply_updates(added=[matching[0]])
+                        validate_coloring(
+                            child, list(reseeded.result.colors),
+                            max_colors=reseeded.result.palette,
+                        )
+                        # the chain continues off the re-seeded parent
+                        chained = client.update(
+                            reseeded.fingerprint, edges_added=[matching[1]]
+                        )
+                        assert chained.parent_digest == reseeded.fingerprint
+                        grandchild = child.apply_updates(added=[matching[1]])
+                        validate_coloring(
+                            grandchild, list(chained.result.colors),
+                            max_colors=chained.result.palette,
+                        )
+                        return True
+
+                ok = await asyncio.get_running_loop().run_in_executor(
+                    None, client_flow
+                )
+                assert ok
+            finally:
+                await server.close()
+
+        asyncio.run(drive())
+
+    def test_fallback_keeps_typed_delta_rejections(self):
+        """An invalid delta must raise the same typed error whether the
+        parent is cached (server-side rejection) or evicted (local
+        fallback application)."""
+        base, matching = updatable_instance()
+        present = next(base.edges())
+
+        async def drive():
+            server = ColoringServer(port=0, workers=1)
+            await server.start()
+            try:
+                port = server.port
+
+                def client_flow():
+                    with ColoringClient(port=port, timeout=60.0) as client:
+                        with pytest.raises(IncrementalUpdateError):
+                            client.update(
+                                "c" * 64,
+                                edges_added=[present],
+                                fallback_graph=base,
+                            )
+                        with pytest.raises(IncrementalUpdateError):
+                            client.update(
+                                "c" * 64,
+                                edges_removed=[matching[0]],
+                                fallback_graph=base,
+                            )
+                        return True
+
+                ok = await asyncio.get_running_loop().run_in_executor(
+                    None, client_flow
+                )
+                assert ok
+            finally:
+                await server.close()
+
+        asyncio.run(drive())
+
+    def test_async_client_stale_parent_fallback(self):
+        base, matching = updatable_instance()
+
+        async def drive():
+            server = ColoringServer(port=0, workers=1)
+            await server.start()
+            try:
+                from repro.service.client import AsyncColoringClient
+
+                async with AsyncColoringClient(port=server.port) as client:
+                    with pytest.raises(StaleParentError):
+                        await client.update("d" * 64, edges_added=[matching[0]])
+                    reseeded = await client.update(
+                        "d" * 64,
+                        edges_added=[matching[0]],
+                        fallback_graph=base,
+                    )
+                    assert reseeded.update is None
+                    chained = await client.update(
+                        reseeded.fingerprint, edges_added=[matching[1]]
+                    )
+                    assert chained.parent_digest == reseeded.fingerprint
+            finally:
+                await server.close()
+
+        asyncio.run(drive())
+
     def test_malformed_update_requests(self):
         async def drive():
             server = ColoringServer(port=0, workers=1)

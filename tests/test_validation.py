@@ -1,14 +1,20 @@
 """Tests for coloring validation."""
 
+import random
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ColoringError
 from repro.graphs.generators import complete_graph, cycle_graph
+from repro.graphs.graph import Graph
 from repro.graphs.validation import (
     UNCOLORED,
     count_colors,
     uncolored_nodes,
     validate_coloring,
+    validate_coloring_region,
 )
 
 
@@ -50,6 +56,131 @@ class TestValidateColoring:
             assert len(error.violations) >= 2
         else:
             raise AssertionError("should have raised")
+
+
+def _accepts_region(graph, colors, region, **kwargs) -> bool:
+    try:
+        validate_coloring_region(graph, colors, region, **kwargs)
+        return True
+    except ColoringError:
+        return False
+
+
+def _accepts_full(graph, colors, **kwargs) -> bool:
+    try:
+        validate_coloring(graph, colors, **kwargs)
+        return True
+    except ColoringError:
+        return False
+
+
+class TestValidateColoringRegion:
+    """The dirty-region validator: O(vol(region)) instead of O(n + m),
+    exact on its contract (all changes inside the region)."""
+
+    def test_accepts_valid_region(self):
+        graph = cycle_graph(6)
+        validate_coloring_region(graph, [1, 2, 1, 2, 1, 2], [0, 3], max_colors=2)
+
+    def test_catches_conflict_touching_region(self):
+        graph = cycle_graph(6)
+        with pytest.raises(ColoringError, match="monochromatic"):
+            validate_coloring_region(graph, [1, 1, 2, 1, 2, 3], [0])
+
+    def test_misses_conflicts_outside_region_by_design(self):
+        graph = cycle_graph(6)
+        bad = [1, 2, 1, 1, 2, 3]  # edge (2, 3) is monochromatic
+        assert not _accepts_full(graph, bad)
+        assert _accepts_region(graph, bad, [0])
+
+    def test_region_method_on_graph(self):
+        graph = cycle_graph(4)
+        graph.validate_coloring_region([1, 2, 1, 2], [1, 2], max_colors=2)
+        with pytest.raises(ColoringError):
+            graph.validate_coloring_region([1, 1, 2, 2], [0, 1], max_colors=2)
+
+    def test_palette_and_uncolored_checks_scoped_to_region(self):
+        graph = cycle_graph(5)
+        colors = [1, 2, 1, 2, 9]
+        with pytest.raises(ColoringError, match="out-of-palette"):
+            validate_coloring_region(graph, colors, [4], max_colors=3)
+        validate_coloring_region(graph, colors, [1, 2], max_colors=3)
+        with pytest.raises(ColoringError, match="uncolored"):
+            validate_coloring_region(graph, [UNCOLORED, 2, 1, 2, 3], [0])
+        validate_coloring_region(
+            graph, [UNCOLORED, 2, 1, 2, 3], [0], allow_partial=True
+        )
+
+    def test_in_region_edge_reported_once(self):
+        graph = cycle_graph(6)
+        try:
+            validate_coloring_region(graph, [1, 1, 2, 1, 2, 3], [0, 1])
+        except ColoringError as error:
+            reports = [v for v in error.violations if "monochromatic" in v]
+            assert reports == ["edge (0, 1) is monochromatic (color 1)"]
+        else:
+            raise AssertionError("should have raised")
+
+    def test_out_of_range_region_node_rejected(self):
+        with pytest.raises(ColoringError, match="out of range"):
+            validate_coloring_region(cycle_graph(4), [1, 2, 1, 2], [7])
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ColoringError, match="entries"):
+            validate_coloring_region(cycle_graph(4), [1, 2], [0])
+
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        p=st.floats(min_value=0.05, max_value=0.6),
+        palette=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=1 << 20),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_region_exactness_property(self, n, p, palette, seed):
+        """For random graphs, colorings and repair regions: region
+        validation accepts exactly when full validation accepts, whenever
+        every edge has an endpoint in the region — in particular for
+        region = all nodes.  Corruptions strictly outside the region are
+        exactly the cases the full pass still catches."""
+        rng = random.Random(seed)
+        edges = [
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if rng.random() < p
+        ]
+        graph = Graph(n, edges)
+        colors = [rng.randrange(0, palette + 2) for _ in range(n)]
+        region = [v for v in range(n) if rng.random() < 0.5]
+        kwargs = {"max_colors": palette, "allow_partial": rng.random() < 0.5}
+
+        full_ok = _accepts_full(graph, colors, **kwargs)
+        # the all-nodes region covers every edge: must agree with full
+        assert _accepts_region(graph, colors, range(n), **kwargs) == full_ok
+
+        # arbitrary sub-regions never produce false rejections
+        if full_ok:
+            assert _accepts_region(graph, colors, region, **kwargs)
+        # and a deliberate corruption outside the region stays invisible
+        # to the region check (shrunk so no region node can see it) but
+        # is caught by the full pass, which claims the whole graph
+        outside = [v for v in range(n) if v not in region and graph.adj[v]]
+        if outside and full_ok:
+            v = outside[0]
+            u = graph.adj[v][0]
+            if u not in region:
+                corrupted = list(colors)
+                corrupted[u] = 1
+                corrupted[v] = 1
+                adj_sets = graph.adjacency_sets()
+                blind = [
+                    w for w in region
+                    if w not in (u, v)
+                    and u not in adj_sets[w]
+                    and v not in adj_sets[w]
+                ]
+                assert _accepts_region(graph, corrupted, blind, **kwargs)
+                assert not _accepts_full(graph, corrupted, **kwargs)
 
 
 class TestHelpers:
