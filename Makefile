@@ -25,9 +25,15 @@ lint:
 serve-smoke:
 	$(PY) benchmarks/bench_s1_service.py --smoke
 
-# Incremental smoke: the update verb's acceptance gate (engine + TCP).
+# Incremental smoke: the update verb's acceptance gate (engine + TCP +
+# sustained stream), then the calibrated perf gate over its numbers
+# (update_ms and sustained ops/sec vs the committed baseline).
+# Refresh the baseline with:
+#   python scripts/check_bench_regression.py --incremental-current benchmarks/results/s2_incremental.json --update-baseline
 incremental-smoke:
 	$(PY) benchmarks/bench_s2_incremental.py --smoke
+	python scripts/check_bench_regression.py \
+		--incremental-current benchmarks/results/s2_incremental.json
 
 # Full incremental sweep: update-op latency vs fresh solves across edit sizes.
 bench-incremental:

@@ -17,6 +17,10 @@ validity-asserted.  Three probes:
   re-fingerprinting, caching, and validation.  Asserts the ≥ 10× bar,
   the digest chain (every child names its parent; replaying an update
   hits the cache), and child-coloring validity.
+* ``sustained`` — :func:`repro.analysis.harness.sustained_update_stream`:
+  one long-lived engine on the dynamic (updatable-CSR) backend absorbs
+  thousands of alternating insert/delete ops at n=10⁵ with per-op
+  dirty-region validation; must hold **≥ 10⁴ ops/sec**.
 * ``tcp_update`` — functional check of the wire protocol on a small
   instance: solve → update → chained update over real sockets, plus the
   ``stale_parent`` and typed-rejection error paths.
@@ -39,7 +43,11 @@ import time
 from pathlib import Path
 
 from repro.api import SolverConfig
-from repro.analysis.harness import carve_matching, incremental_update_sweep
+from repro.analysis.harness import (
+    carve_matching,
+    incremental_update_sweep,
+    sustained_update_stream,
+)
 from repro.errors import IncrementalUpdateError, StaleParentError
 from repro.graphs.generators import random_regular_graph
 from repro.graphs.validation import validate_coloring
@@ -179,6 +187,18 @@ def main(argv=None) -> int:
         "--min-speedup", type=float, default=10.0,
         help="acceptance bar for the single-edge service-path speedup",
     )
+    parser.add_argument(
+        "--sustained-n", type=int, default=100_000,
+        help="instance size of the sustained-stream probe",
+    )
+    parser.add_argument(
+        "--sustained-ops", type=int, default=2000,
+        help="ops in the sustained-stream probe",
+    )
+    parser.add_argument(
+        "--min-ops-per-sec", type=float, default=10_000.0,
+        help="acceptance bar for sustained incremental throughput",
+    )
     parser.add_argument("--json", default=str(RESULTS_DIR / "s2_incremental.json"))
     args = parser.parse_args(argv)
 
@@ -191,6 +211,10 @@ def main(argv=None) -> int:
         )
     report["service_hot_update"] = run_service_hot_update(
         args.hot_n, args.delta, args.seed
+    )
+    report["sustained"] = sustained_update_stream(
+        n=args.sustained_n, delta=args.delta, ops=args.sustained_ops,
+        seed=args.seed,
     )
     report["tcp_update"] = run_tcp_update_check(
         2048 if args.smoke else 4096, args.delta, args.seed
@@ -210,6 +234,17 @@ def main(argv=None) -> int:
         failures.append("update replies did not chain parent digests")
     if not hot["replay_cached"]:
         failures.append("replaying an identical update missed the cache")
+    sustained = report["sustained"]
+    if sustained["ops_per_sec"] < args.min_ops_per_sec:
+        failures.append(
+            f"sustained throughput {sustained['ops_per_sec']} ops/s < "
+            f"{args.min_ops_per_sec} ops/s at n={sustained['n']}"
+        )
+    if sustained["full_resolves"]:
+        failures.append(
+            "sustained stream hit full re-solves; the matching workload "
+            "must be Δ-preserving by construction"
+        )
     tcp = report["tcp_update"]
     for key in ("chain_ok", "update_stats_present", "stale_parent_ok",
                 "typed_rejection_ok", "validated"):
@@ -221,7 +256,9 @@ def main(argv=None) -> int:
         print(
             f"s2_incremental ok: single-edge update {hot['update_ms']}ms vs "
             f"fresh {hot['cold_ms']}ms ({hot['speedup']}x) at n={hot['n']} "
-            f"Δ={hot['delta']}; chain + validity + typed errors verified",
+            f"Δ={hot['delta']}; sustained {sustained['ops_per_sec']} ops/s "
+            f"(p50 {sustained['p50_us']}µs) at n={sustained['n']}; "
+            "chain + validity + typed errors verified",
             file=sys.stderr,
         )
     return 1 if failures else 0

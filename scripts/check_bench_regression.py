@@ -16,10 +16,20 @@ every ratio equally and passes; a regression in one module moves only
 that module's ratio and fails.  Modules faster than ``--min-seconds`` in
 the baseline are reported but never gated (timer noise dominates them).
 
+The incremental subsystem gets its own gate over the
+``bench_s2_incremental.py --smoke`` report (``--incremental-current``):
+the single-edge ``update_ms`` and the sustained-stream ``ops_per_sec``
+are compared against ``benchmarks/baselines/s2_incremental_baseline.json``,
+calibrated by the cold fresh-solve time of the same run — the one number
+in that report that tracks raw machine speed and not the incremental
+code paths under test.
+
 Usage::
 
     python scripts/check_bench_regression.py --current BENCH_smoke.json
     python scripts/check_bench_regression.py --current ... --update-baseline
+    python scripts/check_bench_regression.py \
+        --incremental-current benchmarks/results/s2_incremental.json
 
 Exit codes: 0 ok, 1 regression(s), 2 bad input.
 """
@@ -34,6 +44,9 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "bench_smoke_baseline.json"
+DEFAULT_INC_BASELINE = (
+    REPO_ROOT / "benchmarks" / "baselines" / "s2_incremental_baseline.json"
+)
 
 
 def module_seconds(doc: dict) -> dict[str, float]:
@@ -113,12 +126,123 @@ def compare(
     return regressions, lines
 
 
+def incremental_metrics(doc: dict) -> dict[str, float]:
+    """The gated numbers from a ``bench_s2_incremental`` report."""
+    try:
+        hot = doc["service_hot_update"]
+        sustained = doc["sustained"]
+        return {
+            "cold_ms": float(hot["cold_ms"]),
+            "update_ms": float(hot["update_ms"]),
+            "ops_per_sec": float(sustained["ops_per_sec"]),
+        }
+    except (KeyError, TypeError) as exc:
+        raise ValueError(
+            f"not a bench_s2_incremental report (missing {exc})"
+        ) from exc
+
+
+def compare_incremental(
+    current: dict[str, float],
+    baseline: dict[str, float],
+    threshold: float = 1.5,
+) -> tuple[list[str], list[str]]:
+    """Calibrated comparison of the incremental-subsystem numbers.
+
+    The cold fresh-solve of the hot-update probe measures the *solver*
+    on this machine — none of the incremental code paths — so its ratio
+    ``current / baseline`` is the machine-speed factor.  ``update_ms``
+    regresses when its calibrated ratio exceeds ``threshold``;
+    ``ops_per_sec`` (higher is better) regresses when its calibrated
+    ratio falls below ``1 / threshold``.
+    """
+    calibration = max(1e-9, current["cold_ms"] / max(1e-9, baseline["cold_ms"]))
+    lines = [f"machine-speed calibration factor: {calibration:.3f} (cold solve)"]
+    regressions: list[str] = []
+    update_ratio = (current["update_ms"] / max(1e-9, baseline["update_ms"]))
+    update_cal = update_ratio / calibration
+    status = "ok"
+    if update_cal > threshold:
+        status = f"REGRESSION (> {threshold:.2f}x)"
+        regressions.append(
+            f"update_ms: {baseline['update_ms']:.2f}ms -> "
+            f"{current['update_ms']:.2f}ms ({update_cal:.2f}x calibrated)"
+        )
+    lines.append(
+        f"  update_ms     base {baseline['update_ms']:8.2f}  cur "
+        f"{current['update_ms']:8.2f}  calibrated {update_cal:5.2f}x  {status}"
+    )
+    ops_ratio = current["ops_per_sec"] / max(1e-9, baseline["ops_per_sec"])
+    ops_cal = ops_ratio * calibration
+    status = "ok"
+    if ops_cal < 1.0 / threshold:
+        status = f"REGRESSION (< {1.0 / threshold:.2f}x)"
+        regressions.append(
+            f"ops_per_sec: {baseline['ops_per_sec']:.0f} -> "
+            f"{current['ops_per_sec']:.0f} ({ops_cal:.2f}x calibrated)"
+        )
+    lines.append(
+        f"  ops_per_sec   base {baseline['ops_per_sec']:8.0f}  cur "
+        f"{current['ops_per_sec']:8.0f}  calibrated {ops_cal:5.2f}x  {status}"
+    )
+    return regressions, lines
+
+
+def run_incremental_gate(args: argparse.Namespace) -> int:
+    try:
+        current_doc = json.loads(Path(args.incremental_current).read_text())
+        current = incremental_metrics(current_doc)
+    except (OSError, ValueError) as exc:
+        print(
+            f"check_bench_regression: bad --incremental-current: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    baseline_path = Path(args.incremental_baseline)
+    if args.update_baseline:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(json.dumps(current_doc, indent=2) + "\n")
+        print(f"incremental baseline updated: {baseline_path}")
+        return 0
+    try:
+        baseline = incremental_metrics(json.loads(baseline_path.read_text()))
+    except (OSError, ValueError) as exc:
+        print(
+            f"check_bench_regression: bad incremental baseline: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    regressions, lines = compare_incremental(
+        current, baseline, threshold=args.threshold
+    )
+    print("\n".join(lines))
+    if regressions:
+        print(
+            f"check_bench_regression: {len(regressions)} regression(s):",
+            file=sys.stderr,
+        )
+        for regression in regressions:
+            print(f"  {regression}", file=sys.stderr)
+        return 1
+    print("check_bench_regression: ok (incremental)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument(
-        "--current", required=True,
+        "--current",
         help="bench-smoke JSON of the run under test "
         "(python -m repro bench --smoke --smoke-json <path>)",
+    )
+    parser.add_argument(
+        "--incremental-current",
+        help="bench_s2_incremental JSON to gate against the incremental "
+        "baseline instead of the bench-smoke module timings",
+    )
+    parser.add_argument(
+        "--incremental-baseline", default=str(DEFAULT_INC_BASELINE),
+        help=f"committed incremental baseline (default {DEFAULT_INC_BASELINE})",
     )
     parser.add_argument(
         "--baseline", default=str(DEFAULT_BASELINE),
@@ -137,6 +261,11 @@ def main(argv: list[str] | None = None) -> int:
         help="overwrite the baseline with the current run and exit 0",
     )
     args = parser.parse_args(argv)
+
+    if args.incremental_current:
+        return run_incremental_gate(args)
+    if not args.current:
+        parser.error("one of --current / --incremental-current is required")
 
     try:
         current_doc = json.loads(Path(args.current).read_text())

@@ -433,6 +433,89 @@ def incremental_update_sweep(
     return points
 
 
+def sustained_update_stream(
+    n: int = 100_000,
+    delta: int = 8,
+    ops: int = 2000,
+    matching_size: int = 256,
+    seed: int = 0,
+    validate: bool = True,
+    backend: str = "dynamic",
+    algorithm: str = "randomized-large",
+) -> dict:
+    """Sustained update throughput on one long-lived engine.
+
+    The complement of :func:`incremental_update_sweep`: instead of one
+    facade call per measurement (engine setup, fresh immutable graph,
+    result marshalling — the *service* path), a single
+    :class:`repro.core.incremental.IncrementalColoring` engine absorbs a
+    long alternating insert/delete stream over a carved matching — the
+    *streaming* path the dynamic backend exists for.  Matching edges
+    keep Δ fixed by construction (see :func:`carve_matching`), so no op
+    forces a full re-solve and every op exercises exactly the in-place
+    delta + conflict-repair machinery, with per-op dirty-region
+    validation on unless disabled.
+
+    Returns a flat dict (ops/sec, p50/p99/max latencies, engine repair
+    totals, the cold fresh-solve baseline) ready for the bench report.
+    """
+    from repro.api import SolverConfig, solve
+    from repro.core.incremental import IncrementalColoring
+    from repro.graphs.generators import random_regular_graph
+
+    config = SolverConfig(algorithm=algorithm, seed=seed)
+    full = random_regular_graph(n, delta, seed=seed)
+    matching = carve_matching(full, matching_size)
+    base = full.apply_updates(removed=matching)
+    t0 = time.perf_counter()
+    parent = solve(base, config)
+    cold_s = time.perf_counter() - t0
+    engine = IncrementalColoring.from_result(
+        base,
+        parent,
+        config=config.without_observer(),
+        backend=backend,
+        validate=validate,
+    )
+    # One untimed round trip warms the stream: backend conversion,
+    # adjacency caches, the engine's registry lookup.
+    engine.insert_edge(*matching[0])
+    engine.delete_edge(*matching[0])
+    inserted = [False] * len(matching)
+    latencies: list[float] = []
+    idx = 0
+    started = time.perf_counter()
+    for _ in range(ops):
+        u, v = matching[idx]
+        t1 = time.perf_counter()
+        if inserted[idx]:
+            engine.delete_edge(u, v)
+        else:
+            engine.insert_edge(u, v)
+        latencies.append(time.perf_counter() - t1)
+        inserted[idx] = not inserted[idx]
+        idx = (idx + 1) % len(matching)
+    elapsed = time.perf_counter() - started
+    latencies.sort()
+    return {
+        "n": n,
+        "delta": delta,
+        "ops": ops,
+        "backend": backend,
+        "validate": validate,
+        "matching_size": matching_size,
+        "elapsed_s": round(elapsed, 6),
+        "ops_per_sec": round(ops / elapsed, 1),
+        "p50_us": round(latencies[len(latencies) // 2] * 1e6, 1),
+        "p99_us": round(latencies[(len(latencies) * 99) // 100] * 1e6, 1),
+        "max_us": round(latencies[-1] * 1e6, 1),
+        "cold_solve_s": round(cold_s, 6),
+        "conflicts": engine.totals["conflicts"],
+        "recolored": engine.totals["recolored"],
+        "full_resolves": engine.totals["full_resolves"],
+    }
+
+
 def service_load_sweep(
     duplicate_ratios: Sequence[float] = (0.0, 0.5, 0.9),
     n: int = 512,

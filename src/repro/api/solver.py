@@ -138,20 +138,20 @@ def solve_incremental(
     started = time.perf_counter()
     outcome = engine.batch_update(edges_added, edges_removed)
     child = engine.graph
-    child_colors = engine.colors
     if config.validate:
         # Repaired updates only need the dirty region checked (the parent
         # was valid and nothing else changed); full re-solves validate in
         # full.  See Graph.validate_coloring_region for the contract.
+        # Validation reads the engine's color store copy-free.
+        view = engine.colors_view()
         dirty = engine.last_dirty_region
         if dirty is None:
-            validate_coloring(
-                child, child_colors, max_colors=engine.palette or None
-            )
+            validate_coloring(child, view, max_colors=engine.palette or None)
         else:
             child.validate_coloring_region(
-                child_colors, dirty, max_colors=engine.palette or None
+                view, dirty, max_colors=engine.palette or None
             )
+    child_colors = engine.colors
     update = outcome.as_dict()
     result = ColoringResult(
         algorithm=engine.algorithm,

@@ -12,6 +12,7 @@
 """
 
 from repro.core.brooks import BrooksFixResult, default_fix_radius, fix_uncolored_node
+from repro.core.colorstore import ColorStore
 from repro.core.dcc import DCCDetection, detect_dccs, virtual_graph_ruling_set
 from repro.core.degree_choosable import backtracking_list_color, degree_list_color
 from repro.core.deterministic import (
@@ -55,6 +56,7 @@ __all__ = [
     "BrooksFixResult",
     "fix_uncolored_node",
     "default_fix_radius",
+    "ColorStore",
     "LayerColoringReport",
     "build_layers",
     "color_layers_in_reverse",

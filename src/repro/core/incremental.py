@@ -7,13 +7,13 @@ to keep a coloring valid under edge insertions and deletions instead of
 re-solving from scratch.  :class:`IncrementalColoring` packages it as a
 stateful engine:
 
-* it holds the current :class:`repro.graphs.Graph` plus a valid coloring
-  (typically seeded from a :class:`repro.api.ColoringResult`);
-* ``insert_edge`` / ``delete_edge`` / ``batch_update`` apply a delta via
-  :meth:`repro.graphs.Graph.apply_updates` (touched-rows-only CSR
-  rewrite, no full revalidation), detect the conflicts the delta
-  created, uncolor a *minimal* hitting set of conflict endpoints, and
-  repair each through the ladder
+* it holds the current graph plus a valid coloring (typically seeded
+  from a :class:`repro.api.ColoringResult`), the coloring in a
+  journaling :class:`repro.core.colorstore.ColorStore` (numpy-backed,
+  O(touched) diffing — no per-op O(n) list copies);
+* ``insert_edge`` / ``delete_edge`` / ``batch_update`` apply a delta,
+  detect the conflicts the delta created, uncolor a *minimal* hitting
+  set of conflict endpoints, and repair each through the ladder
 
       1. **greedy** — take a free color at the uncolored node (O(Δ));
       2. **brooks** — the Theorem 5 token walk
@@ -27,6 +27,32 @@ Deletions never create conflicts (removing constraints preserves
 properness), so they are O(delta-application) unless they lower Δ —
 a *smaller* palette contract — which forces a resolve.
 
+**Graph backends.**  Delta application has two modes, selected by the
+``backend`` parameter:
+
+* ``"immutable"`` — every op builds a fresh :class:`repro.graphs.Graph`
+  via :meth:`Graph.apply_updates` (touched-rows CSR rewrite, O(n + m)
+  buffer copies).  The engine never mutates a caller's graph, and
+  ``engine.graph`` keeps its identity semantics — a rejected op leaves
+  the *same object* in place.
+* ``"dynamic"`` — the engine owns a
+  :class:`repro.graphs.dynamic.DynamicGraph` (slack-padded updatable
+  CSR) and applies deltas **in place**, O(Δ) per touched row.  This is
+  the streaming mode: ~μs delta application independent of n.
+* ``"auto"`` (default) — start immutable, convert to an owned dynamic
+  copy once the stream proves itself (two accepted ops).  One-shot
+  facade calls (:func:`repro.api.solve_incremental`) stay on the
+  immutable path and hand out ordinary graphs; sustained streams pay
+  one O(n + m) conversion and then update in place.
+
+In dynamic mode the engine still never mutates caller state: the
+conversion copies, and ``engine.graph`` returns an immutable
+:meth:`~repro.graphs.dynamic.DynamicGraph.snapshot` (cached until the
+next mutation — cheap at stream end, O(n + m) if read every op; use
+``colors_view()`` / ``last_dirty_region`` for per-op monitoring).
+Rejected and failed ops roll back both structures exactly: the graph
+via the delta undo log, the colors via the store journal.
+
 Every op returns an :class:`UpdateOutcome` with repair-locality stats
 (`recolored_count`, `max_repair_radius`, charged LOCAL `rounds`, the
 per-mode counts), and the engine accumulates lifetime totals in
@@ -36,10 +62,12 @@ latency.
 
 Rejected operations (typed, state unchanged):
 
-* inserting an edge that is already present —
+* inserting an edge that is already present — or twice in one batch —
   :class:`repro.errors.EdgeAlreadyPresentError`;
-* deleting an edge that is not present —
+* deleting an edge that is not present — or twice in one batch —
   :class:`repro.errors.EdgeNotPresentError`;
+* one edge appearing in both ``added`` and ``removed`` of a batch —
+  :class:`repro.errors.ConflictingUpdateError`;
 * any update that would change Δ when the engine was built with
   ``allow_resolve=False`` — :class:`repro.errors.DeltaChangeError`.
 """
@@ -51,12 +79,16 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 from repro.errors import (
+    ConflictingUpdateError,
     DeltaChangeError,
     EdgeAlreadyPresentError,
     EdgeNotPresentError,
+    GraphError,
     ReproError,
 )
 from repro.core.brooks import fix_uncolored_node
+from repro.core.colorstore import ColorStore
+from repro.graphs.dynamic import DynamicGraph
 from repro.graphs.graph import Graph
 from repro.graphs.validation import (
     UNCOLORED,
@@ -65,6 +97,13 @@ from repro.graphs.validation import (
 )
 
 __all__ = ["IncrementalColoring", "UpdateOutcome"]
+
+#: Accepted ops after which ``backend="auto"`` converts to dynamic.
+AUTO_CONVERT_AFTER = 2
+
+#: Batch size above which membership probes switch from per-edge row
+#: scans to touched-row sets built once.
+MEMBERSHIP_SET_THRESHOLD = 3
 
 
 @dataclass
@@ -118,7 +157,8 @@ class IncrementalColoring:
     Parameters
     ----------
     graph:
-        The current instance (never mutated; updates swap in new graphs).
+        The current instance (never mutated; updates either swap in new
+        graphs or mutate an engine-owned dynamic copy).
     colors:
         A valid coloring of ``graph`` with colors in ``1..palette``
         (validated at construction unless ``validate_seed=False``).
@@ -133,6 +173,10 @@ class IncrementalColoring:
     config:
         The :class:`repro.api.SolverConfig` used for full re-solves
         (default: ``algorithm="auto"`` with ``seed``).
+    backend:
+        Delta-application mode: ``"auto"`` (immutable until the stream
+        proves itself, then dynamic), ``"dynamic"`` (convert at
+        construction), ``"immutable"`` (never convert).
     allow_resolve:
         When False, updates that would need a full re-solve (Δ changes)
         raise :class:`repro.errors.DeltaChangeError` instead, leaving the
@@ -156,20 +200,29 @@ class IncrementalColoring:
         algorithm: str = "auto",
         config: "Any | None" = None,
         seed: int = 0,
+        backend: str = "auto",
         allow_resolve: bool = True,
         validate: bool = False,
         validate_seed: bool = True,
     ):
+        if backend not in ("auto", "dynamic", "immutable"):
+            raise ValueError(f"unknown IncrementalColoring backend: {backend!r}")
         self._graph = graph
-        self._colors = list(colors)
+        self._colors = ColorStore(colors)
         self._delta = graph.max_degree()
         self.palette = palette if palette is not None else self._delta
         self.algorithm = algorithm
         self.seed = seed
+        self.backend = backend
         self.allow_resolve = allow_resolve
         self.validate = validate
         self._config = config
         self._last_dirty: list[int] | None = []
+        self._is_dynamic = isinstance(graph, DynamicGraph)
+        self._supports_inc: tuple[str, bool] | None = None
+        if backend == "dynamic" and not self._is_dynamic:
+            self._graph = DynamicGraph.from_graph(graph)
+            self._is_dynamic = True
         if validate_seed:
             validate_coloring(graph, self._colors, max_colors=self.palette or None)
         self.totals: dict[str, Any] = {
@@ -199,12 +252,24 @@ class IncrementalColoring:
 
     @property
     def graph(self) -> Graph:
+        """The current graph.  On the immutable path this is the exact
+        object last committed (identity-stable across rejected ops); on
+        the dynamic path, an immutable snapshot of the owned dynamic
+        graph, cached until the next mutation."""
+        if self._is_dynamic:
+            return self._graph.snapshot()
         return self._graph
 
     @property
     def colors(self) -> list[int]:
-        """The current coloring (a copy; the engine owns its state)."""
-        return list(self._colors)
+        """The current coloring (a plain-list copy; the engine owns its
+        state).  Prefer :meth:`colors_view` on hot paths."""
+        return self._colors.to_list()
+
+    def colors_view(self):
+        """A read-only, copy-free view of the current coloring (numpy
+        array or tuple; see :meth:`repro.core.colorstore.ColorStore.view`)."""
+        return self._colors.view()
 
     @property
     def delta(self) -> int:
@@ -220,9 +285,11 @@ class IncrementalColoring:
         return list(dirty) if dirty is not None else None
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
+        mode = "dynamic" if self._is_dynamic else "immutable"
         return (
             f"IncrementalColoring(n={self._graph.n}, m={self._graph.num_edges}, "
-            f"Δ={self._delta}, palette={self.palette}, ops={self.totals['ops']})"
+            f"Δ={self._delta}, palette={self.palette}, ops={self.totals['ops']}, "
+            f"backend={mode})"
         )
 
     # -- operations --------------------------------------------------------
@@ -240,8 +307,8 @@ class IncrementalColoring:
         added: Iterable[tuple[int, int]] = (),
         removed: Iterable[tuple[int, int]] = (),
     ) -> UpdateOutcome:
-        """Apply a whole delta atomically: one new graph, all conflicts
-        detected against it, one repair pass."""
+        """Apply a whole delta atomically: one graph transition, all
+        conflicts detected against it, one repair pass."""
         return self._apply("batch", list(added), list(removed))
 
     # -- internals ---------------------------------------------------------
@@ -253,54 +320,22 @@ class IncrementalColoring:
         removed: list[tuple[int, int]],
     ) -> UpdateOutcome:
         started = time.perf_counter()
-        new_graph = self._updated_graph(added, removed)
+        if (
+            self.backend == "auto"
+            and not self._is_dynamic
+            and self.totals["ops"] >= AUTO_CONVERT_AFTER
+        ):
+            # The stream proved itself: own a dynamic copy from here on.
+            self._graph = DynamicGraph.from_graph(self._graph)
+            self._is_dynamic = True
+        self._validate_delta(added, removed)
         outcome = UpdateOutcome(
             op=op, edges_added=len(added), edges_removed=len(removed)
         )
-        new_delta = new_graph.max_degree()
-        colors = list(self._colors)
-        # Dirty region of this op: inserted-edge endpoints plus whatever
-        # the repair recolors; None marks "everything" (full re-solve).
-        dirty: set[int] | None = {v for edge in added for v in edge}
-        if (
-            new_delta != self._delta and self.palette == self._delta
-        ) or new_delta > self.palette:
-            # The Δ-coloring contract moved (palette must track Δ): a rise
-            # leaves the old colors proper but under-uses the new palette's
-            # guarantees, a fall makes the old palette illegal; and any
-            # palette below the new Δ voids the repair ladder's guarantees
-            # outright.  Only a fresh solve restores the contract.
-            self._resolve(new_graph, outcome, reason=f"delta {self._delta}->{new_delta}")
-            dirty = None
+        if self._is_dynamic:
+            dirty = self._apply_dynamic(added, removed, outcome)
         else:
-            conflicts = [
-                (u, v)
-                for u, v in added
-                if colors[u] == colors[v] and colors[u] != UNCOLORED
-            ]
-            outcome.conflicts = len(conflicts)
-            if conflicts and not self._spec_supports_incremental():
-                self._resolve(new_graph, outcome, reason="algorithm-unsupported")
-                dirty = None
-            elif conflicts:
-                uncolor = self._minimal_uncolor_set(conflicts, new_graph, colors)
-                before = list(colors)
-                try:
-                    self._repair(new_graph, colors, uncolor, outcome)
-                except ReproError:
-                    # Repair stalled (e.g. the delta carved out a clique
-                    # component): last rung of the ladder.
-                    self._resolve(new_graph, outcome, reason="repair-stalled")
-                    dirty = None
-                else:
-                    changed = [
-                        v for v, (a, b) in enumerate(zip(before, colors)) if a != b
-                    ]
-                    outcome.recolored_count = len(changed)
-                    dirty.update(changed)
-                    self._commit(new_graph, colors, new_delta)
-            else:
-                self._commit(new_graph, colors, new_delta)
+            dirty = self._apply_immutable(added, removed, outcome)
         self._last_dirty = sorted(dirty) if dirty is not None else None
         outcome.delta = self._delta
         outcome.palette = self.palette
@@ -318,50 +353,217 @@ class IncrementalColoring:
         self._accumulate(outcome)
         return outcome
 
-    def _updated_graph(
-        self, added: list[tuple[int, int]], removed: list[tuple[int, int]]
-    ) -> Graph:
-        """Delta application with the typed rejection contract."""
-        offsets, indices = self._graph.csr()
-        n = self._graph.n
-        for u, v in removed:
-            if not (0 <= u < n and 0 <= v < n) or (
-                v not in indices[offsets[u] : offsets[u + 1]]
-            ):
-                raise EdgeNotPresentError(
-                    f"cannot delete edge ({u}, {v}): not present"
+    def _apply_immutable(
+        self,
+        added: list[tuple[int, int]],
+        removed: list[tuple[int, int]],
+        outcome: UpdateOutcome,
+    ) -> set[int] | None:
+        """Delta via :meth:`Graph.apply_updates`: a fresh graph object,
+        committed only on success — rejections leave the old identity."""
+        graph = self._graph
+        new_graph = graph.apply_updates(added, removed)
+        new_delta = new_graph.max_degree()
+        store = self._colors
+        dirty: set[int] | None = {v for edge in added for v in edge}
+        if self._delta_moved(new_delta):
+            self._resolve(new_graph, outcome, reason=f"delta {self._delta}->{new_delta}")
+            return None
+        conflicts = [
+            (u, v)
+            for u, v in added
+            if store[u] == store[v] and store[u] != UNCOLORED
+        ]
+        outcome.conflicts = len(conflicts)
+        if conflicts and not self._spec_supports_incremental():
+            self._resolve(new_graph, outcome, reason="algorithm-unsupported")
+            return None
+        if conflicts:
+            uncolor = self._minimal_uncolor_set(conflicts, new_graph)
+            store.begin()
+            try:
+                self._repair(new_graph, store, uncolor, outcome)
+            except ReproError:
+                # Repair stalled (e.g. the delta carved out a clique
+                # component): last rung of the ladder.
+                store.rollback()
+                self._resolve(new_graph, outcome, reason="repair-stalled")
+                return None
+            changed = store.commit()
+            outcome.recolored_count = len(changed)
+            dirty.update(changed)
+        self._graph = new_graph
+        self._delta = new_delta
+        return dirty
+
+    def _apply_dynamic(
+        self,
+        added: list[tuple[int, int]],
+        removed: list[tuple[int, int]],
+        outcome: UpdateOutcome,
+    ) -> set[int] | None:
+        """Delta in place on the owned :class:`DynamicGraph`: O(Δ) per
+        touched row.  Failures after mutation undo the delta and roll
+        back the color journal, so rejections stay exact."""
+        dyn: DynamicGraph = self._graph
+        store = self._colors
+        new_delta = dyn.delta_after(added, removed)
+        resolve_reason: str | None = None
+        if self._delta_moved(new_delta):
+            # Policed before mutation: an allow_resolve=False engine must
+            # reject with its state untouched, no undo required.
+            if not self.allow_resolve:
+                raise DeltaChangeError(
+                    f"update needs a full re-solve (delta "
+                    f"{self._delta}->{new_delta}) but the engine was built "
+                    "with allow_resolve=False"
                 )
-        seen_batch: set[tuple[int, int]] = set()
+            resolve_reason = f"delta {self._delta}->{new_delta}"
+            conflicts: list[tuple[int, int]] = []
+        else:
+            conflicts = [
+                (u, v)
+                for u, v in added
+                if store[u] == store[v] and store[u] != UNCOLORED
+            ]
+            outcome.conflicts = len(conflicts)
+            if conflicts and not self._spec_supports_incremental():
+                resolve_reason = "algorithm-unsupported"
+        undo = dyn.apply_delta(added, removed, record_undo=True, _validated=True)
+        try:
+            if resolve_reason is not None:
+                self._resolve(dyn, outcome, reason=resolve_reason)
+                return None
+            dirty: set[int] | None = {v for edge in added for v in edge}
+            if conflicts:
+                uncolor = self._minimal_uncolor_set(conflicts, dyn)
+                store.begin()
+                try:
+                    self._repair(dyn, store, uncolor, outcome)
+                except ReproError:
+                    store.rollback()
+                    # Repair stalled: last rung of the ladder (raises
+                    # DeltaChangeError under allow_resolve=False, which
+                    # the outer handler turns into an exact rollback).
+                    self._resolve(dyn, outcome, reason="repair-stalled")
+                    return None
+                changed = store.commit()
+                outcome.recolored_count = len(changed)
+                dirty.update(changed)
+            self._delta = new_delta
+            return dirty
+        except ReproError:
+            # Typed rejection after mutation: restore both structures.
+            if store.in_transaction:
+                store.rollback()
+            dyn.undo_delta(undo)
+            raise
+
+    def _delta_moved(self, new_delta: int) -> bool:
+        """Did the delta move the Δ-coloring contract itself?  A rise
+        leaves the old colors proper but under-uses the new palette's
+        guarantees, a fall makes the old palette illegal; and any palette
+        below the new Δ voids the repair ladder's guarantees outright.
+        Only a fresh solve restores the contract."""
+        return (
+            new_delta != self._delta and self.palette == self._delta
+        ) or new_delta > self.palette
+
+    def _validate_delta(
+        self, added: list[tuple[int, int]], removed: list[tuple[int, int]]
+    ) -> None:
+        """The typed rejection contract, checked **before any mutation**.
+
+        Presence and batch-consistency violations get typed errors
+        (:class:`EdgeNotPresentError`, :class:`EdgeAlreadyPresentError`,
+        :class:`ConflictingUpdateError`); range errors and self-loops
+        keep their :class:`repro.errors.GraphError` identity from the
+        graph layer.  For batches past a few edges, membership probes
+        run against touched-row sets built once instead of re-scanning
+        a neighbour row per edge.
+        """
+        graph = self._graph
+        n = graph.n
+        if len(added) + len(removed) > MEMBERSHIP_SET_THRESHOLD:
+            rows: dict[int, set[int]] = {}
+            for u, v in added:
+                if 0 <= u < n and u not in rows:
+                    rows[u] = set(graph.neighbors_csr(u))
+            for u, v in removed:
+                if 0 <= u < n and u not in rows:
+                    rows[u] = set(graph.neighbors_csr(u))
+
+            def present(u: int, v: int) -> bool:
+                return v in rows[u]
+        else:
+
+            def present(u: int, v: int) -> bool:
+                return v in graph.neighbors_csr(u)
+
+        # Batch self-consistency first: a batch that names the same key
+        # twice is contradictory no matter what the graph holds, so the
+        # consistency error must win over any presence error.
+        removed_keys: set[tuple[int, int]] = set()
+        for u, v in removed:
+            key = (u, v) if u < v else (v, u)
+            if key in removed_keys:
+                raise EdgeNotPresentError(
+                    f"cannot delete edge ({u}, {v}): already deleted in this batch"
+                )
+            removed_keys.add(key)
+        added_keys: set[tuple[int, int]] = set()
         for u, v in added:
             key = (u, v) if u < v else (v, u)
-            if (
-                0 <= u < n
-                and 0 <= v < n
-                and (v in indices[offsets[u] : offsets[u + 1]] or key in seen_batch)
-            ):
+            if key in removed_keys:
+                raise ConflictingUpdateError(
+                    f"edge ({u}, {v}) appears in both added and removed"
+                )
+            if key in added_keys:
                 raise EdgeAlreadyPresentError(
                     f"cannot insert edge ({u}, {v}): already present"
                 )
-            seen_batch.add(key)
+            added_keys.add(key)
+        # Then presence against the live graph.
+        for u, v in removed:
+            if not (0 <= u < n and 0 <= v < n) or not present(u, v):
+                raise EdgeNotPresentError(
+                    f"cannot delete edge ({u}, {v}): not present"
+                )
+        for u, v in added:
+            if 0 <= u < n and 0 <= v < n and u != v and present(u, v):
+                raise EdgeAlreadyPresentError(
+                    f"cannot insert edge ({u}, {v}): already present"
+                )
         # Range errors and self-loops keep their GraphError identity from
-        # the graph layer; presence/absence got the typed treatment above.
-        return self._graph.apply_updates(added, removed)
+        # the graph layer; on the immutable path Graph.apply_updates
+        # re-checks them anyway, on the dynamic path this pass is what
+        # lets apply_delta skip its own validation (_validated=True).
+        if self._is_dynamic:
+            for u, v in added:
+                if not (0 <= u < n and 0 <= v < n):
+                    raise GraphError(f"edge ({u}, {v}) out of range for n={n}")
+                if u == v:
+                    raise GraphError(f"self-loop at node {u} is not allowed")
 
     def _spec_supports_incremental(self) -> bool:
+        cached = self._supports_inc
+        if cached is not None and cached[0] == self.algorithm:
+            return cached[1]
         from repro.api.registry import get_algorithm
 
         try:
-            return get_algorithm(self.algorithm).supports_incremental
+            flag = get_algorithm(self.algorithm).supports_incremental
         except ReproError:
             # Unknown (e.g. third-party unregistered) seed algorithm:
             # assume repairable — the resolve rung still backstops it.
-            return True
+            flag = True
+        self._supports_inc = (self.algorithm, flag)
+        return flag
 
     def _minimal_uncolor_set(
         self,
         conflicts: list[tuple[int, int]],
         graph: Graph,
-        colors: list[int],
     ) -> list[int]:
         """A small vertex set hitting every conflict edge.
 
@@ -393,19 +595,27 @@ class IncrementalColoring:
     def _repair(
         self,
         graph: Graph,
-        colors: list[int],
+        colors: "ColorStore",
         uncolor: list[int],
         outcome: UpdateOutcome,
     ) -> None:
         """Rungs 1–2 of the ladder for every uncolored node (mutates
-        ``colors``; raises on stall, caller falls to rung 3)."""
+        ``colors`` through item assignment only, so list-likes and
+        :class:`ColorStore` both work; raises on stall, caller falls to
+        rung 3).  Neighbour rows are read straight off the CSR buffers —
+        touching ``graph.adj`` here would lazily materialise all O(n + m)
+        adjacency lists on every fresh post-update graph."""
         for v in uncolor:
             colors[v] = UNCOLORED
-        adj = graph.adj
+        palette = self.palette
         for v in uncolor:
-            used = {colors[w] for w in adj[v] if colors[w] != UNCOLORED}
+            used = set()
+            for w in graph.neighbors_csr(v):
+                c = colors[w]
+                if c != UNCOLORED:
+                    used.add(c)
             free = next(
-                (c for c in range(1, self.palette + 1) if c not in used), None
+                (c for c in range(1, palette + 1) if c not in used), None
             )
             if free is not None:
                 colors[v] = free
@@ -414,7 +624,7 @@ class IncrementalColoring:
                 )
                 outcome.rounds += 1
                 continue
-            fix = fix_uncolored_node(graph, colors, v, max_colors=self.palette)
+            fix = fix_uncolored_node(graph, colors, v, max_colors=palette)
             outcome.repair_modes[fix.mode] = (
                 outcome.repair_modes.get(fix.mode, 0) + 1
             )
@@ -424,7 +634,14 @@ class IncrementalColoring:
     def _resolve(
         self, graph: Graph, outcome: UpdateOutcome, reason: str
     ) -> None:
-        """Rung 3: full re-solve of the new graph through the facade."""
+        """Rung 3: full re-solve of the new graph through the facade.
+
+        ``graph`` is either the fresh immutable graph (committed here) or
+        the engine's own already-mutated :class:`DynamicGraph` (solved
+        via its snapshot).  The color store must hold the *pre-op*
+        coloring (callers roll back partial repairs first) so the
+        recolored count is a true pre/post diff.
+        """
         if not self.allow_resolve:
             raise DeltaChangeError(
                 f"update needs a full re-solve ({reason}) but the engine "
@@ -435,22 +652,18 @@ class IncrementalColoring:
         config = self._config
         if config is None:
             config = SolverConfig(algorithm="auto", seed=self.seed)
-        before = self._colors
-        result = solve(graph, config)
+        solvable = graph.snapshot() if isinstance(graph, DynamicGraph) else graph
+        result = solve(solvable, config)
         outcome.full_resolve = True
         outcome.resolve_reason = reason
         outcome.rounds += result.rounds
-        outcome.recolored_count = sum(
-            1 for a, b in zip(before, result.colors) if a != b
-        )
+        store = self._colors
+        outcome.recolored_count = store.diff_count(result.colors)
         self.algorithm = result.algorithm
         self.palette = result.palette
-        self._commit(graph, list(result.colors), graph.max_degree())
-
-    def _commit(self, graph: Graph, colors: list[int], delta: int) -> None:
+        store.replace(result.colors)
         self._graph = graph
-        self._colors = colors
-        self._delta = delta
+        self._delta = graph.max_degree()
 
     def _accumulate(self, outcome: UpdateOutcome) -> None:
         totals = self.totals

@@ -74,6 +74,16 @@ class EdgeNotPresentError(IncrementalUpdateError):
     """Raised when a ``delete_edge`` names an edge the graph does not have."""
 
 
+class ConflictingUpdateError(IncrementalUpdateError):
+    """Raised when one edge key appears in both the ``added`` and the
+    ``removed`` list of a single batch update.
+
+    Such a batch has no coherent meaning under atomic (set-at-once)
+    delta semantics — it is neither an insert nor a delete — so it is
+    rejected outright rather than resolved by list order.
+    """
+
+
 class DeltaChangeError(IncrementalUpdateError):
     """Raised when an update would change the maximum degree Δ while the
     engine was configured with ``allow_resolve=False``.

@@ -38,6 +38,7 @@ from repro.graphs.generators import (
     random_tree,
     torus_grid,
 )
+from repro.graphs.dynamic import DynamicGraph
 from repro.graphs.graph import Graph, GraphBuilder, SubgraphView
 from repro.graphs.properties import (
     assert_nice,
@@ -57,6 +58,7 @@ __all__ = [
     "Graph",
     "GraphBuilder",
     "SubgraphView",
+    "DynamicGraph",
     "BlockDecomposition",
     "biconnected_components",
     "blocks_through",

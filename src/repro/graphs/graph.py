@@ -222,8 +222,23 @@ class Graph:
         return [offsets[v + 1] - offsets[v] for v in range(self.n)]
 
     def max_degree(self) -> int:
-        """Maximum degree Δ of the graph (0 for the empty graph); cached."""
+        """Maximum degree Δ of the graph (0 for the empty graph); cached.
+
+        The first call on a large graph runs vectorized (max over the
+        CSR offset differences) when numpy is available — this sits on
+        the incremental hot path, where every update consults Δ on a
+        fresh graph whose cache is cold.
+        """
         if self._max_degree is None:
+            if self.n >= 1024:
+                try:
+                    import numpy as np
+                except Exception:  # pragma: no cover - numpy-free environments
+                    np = None
+                if np is not None:
+                    offs = np.frombuffer(self._offsets, dtype=np.int32)
+                    self._max_degree = int(np.max(np.diff(offs)))
+                    return self._max_degree
             self._max_degree = max(self.degrees(), default=0)
         return self._max_degree
 
@@ -397,8 +412,15 @@ class Graph:
         intermediate version matters).
 
         Large deltas (more directed endpoints touched than remain
-        untouched) fall back to a :class:`GraphBuilder` rebuild of the
-        surviving edge list — same result, better constants.
+        untouched) take a whole-buffer rebuild instead of span-by-span
+        copying — same result, better constants.
+
+        Row-order determinism: both internal paths produce the *same*
+        CSR buffers — every untouched row verbatim, every touched row in
+        its old order minus removals with additions appended in batch
+        order.  :class:`repro.graphs.dynamic.DynamicGraph` mirrors these
+        semantics in place, which is what makes "updatable CSR equals
+        immutable apply_updates, bit for bit" a testable contract.
         """
         added = list(added)
         removed = list(removed)
@@ -442,13 +464,25 @@ class Graph:
         touched_volume = sum(
             offsets[v + 1] - offsets[v] for v in touched
         ) + 2 * len(added)
-        if touched_volume > len(indices) - touched_volume:
-            builder = GraphBuilder.from_graph(self, skip_keys=removed_keys)
-            for u, v in added:
-                builder.add_edge(u, v)
-            return builder.build()
         new_m = self._num_edges + len(added) - len(removed)
         new_offsets = self._shifted_offsets(n, offsets, touched, to_add, to_remove)
+        if touched_volume > len(indices) - touched_volume:
+            # Most of the volume moves anyway: rebuild every row in one
+            # pass (same row semantics as the span-copy path below, so
+            # the two branches stay bit-identical).
+            new_indices = array("i", bytes(4 * (2 * new_m)))
+            pos = 0
+            for v in range(n):
+                row_start, row_end = offsets[v], offsets[v + 1]
+                drop = to_remove.get(v)
+                if drop:
+                    row = [w for w in indices[row_start:row_end] if w not in drop]
+                else:
+                    row = indices[row_start:row_end].tolist()
+                row.extend(to_add.get(v, ()))
+                new_indices[pos : pos + len(row)] = array("i", row)
+                pos += len(row)
+            return Graph._from_csr(n, new_offsets, new_indices, new_m)
         new_indices = array("i", bytes(4 * (2 * new_m)))
         ordered = sorted(touched)
         copy_from = 0  # source cursor (old buffer)

@@ -119,11 +119,12 @@ def validate_coloring_region(
     region_set = set(nodes)
     region = sorted(region_set)
     violations: list[str] = []
-    # Read neighbour rows straight off the CSR buffers: touching
-    # ``graph.adj`` would lazily materialise all O(n + m) adjacency
-    # lists on a fresh graph — exactly the cost this validator exists
-    # to avoid on the incremental path, whose child graphs are new.
-    offsets, indices = graph.csr()
+    # Read neighbour rows one node at a time (``neighbors_csr``):
+    # touching ``graph.adj`` would lazily materialise all O(n + m)
+    # adjacency lists on a fresh graph, and asking for the full
+    # ``csr()`` pair would force a DynamicGraph to compact its padded
+    # rows — both exactly the costs this validator exists to avoid on
+    # the incremental path, whose graphs are fresh or streaming.
     for v in region:
         if not 0 <= v < graph.n:
             raise ColoringError(f"region node {v} out of range for n={graph.n}")
@@ -134,7 +135,7 @@ def validate_coloring_region(
         elif c < 1 or (max_colors is not None and c > max_colors):
             violations.append(f"node {v} has out-of-palette color {c}")
         else:
-            for u in indices[offsets[v] : offsets[v + 1]]:
+            for u in graph.neighbors_csr(v):
                 if colors[u] == c:
                     # an edge with both endpoints in the region is
                     # visited twice; report it from the smaller one only

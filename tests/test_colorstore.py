@@ -1,0 +1,152 @@
+"""Tests for the journaling color store (:class:`repro.core.ColorStore`).
+
+The fallback-pair contract: the numpy backend and the pure-Python
+backend behave identically through the whole public surface — item
+access, transactions, views, diffing.  Every test here runs against
+both (the numpy half skips on numpy-free environments).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.colorstore import ColorStore
+
+try:
+    import numpy as np
+except Exception:  # pragma: no cover
+    np = None
+
+BACKENDS = ["python"] + (["numpy"] if np is not None else [])
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+class TestSequenceProtocol:
+    def test_len_get_set_iter(self, backend):
+        store = ColorStore([3, 1, 4, 1, 5], backend=backend)
+        assert len(store) == 5
+        assert store[2] == 4
+        store[2] = 9
+        assert store[2] == 9
+        assert list(store) == [3, 1, 9, 1, 5]
+
+    def test_items_are_plain_python_ints(self, backend):
+        # numpy scalars break JSON round-trips and tuple equality pins;
+        # the store must never leak them.
+        store = ColorStore([1, 2], backend=backend)
+        assert type(store[0]) is int
+        assert all(type(c) is int for c in store)
+        assert all(type(c) is int for c in store.to_list())
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            ColorStore([1], backend="fortran")
+
+
+class TestTransactions:
+    def test_commit_reports_only_net_changes(self, backend):
+        store = ColorStore([1, 2, 3, 4], backend=backend)
+        store.begin()
+        store[0] = 7
+        store[1] = 9
+        store[1] = 2  # restored: not a net change
+        store[3] = 4  # written with its own value: not a change
+        assert store.commit() == [0]
+        assert store.to_list() == [7, 2, 3, 4]
+
+    def test_rollback_restores_first_written_values(self, backend):
+        store = ColorStore([1, 2, 3], backend=backend)
+        store.begin()
+        store[0] = 5
+        store[0] = 6  # journal keeps the first old value, 1
+        store[2] = 8
+        store.rollback()
+        assert store.to_list() == [1, 2, 3]
+
+    def test_transaction_misuse_raises(self, backend):
+        store = ColorStore([1], backend=backend)
+        with pytest.raises(RuntimeError):
+            store.commit()
+        with pytest.raises(RuntimeError):
+            store.rollback()
+        store.begin()
+        with pytest.raises(RuntimeError):
+            store.begin()
+        assert store.in_transaction
+        store.commit()
+        assert not store.in_transaction
+
+    def test_writes_outside_transaction_do_not_journal(self, backend):
+        store = ColorStore([1, 2], backend=backend)
+        store[0] = 9
+        store.begin()
+        assert store.commit() == []
+        assert store.to_list() == [9, 2]
+
+
+class TestBulkAccess:
+    def test_view_reads_current_state(self, backend):
+        store = ColorStore([1, 2, 3], backend=backend)
+        view = store.view()
+        assert len(view) == 3
+        assert list(view) == [1, 2, 3]
+        assert view[1] == 2
+
+    def test_numpy_view_is_read_only_and_zero_copy(self):
+        if np is None:
+            pytest.skip("numpy unavailable")
+        store = ColorStore([1, 2, 3], backend="numpy")
+        view = store.view()
+        with pytest.raises(ValueError):
+            view[0] = 9
+        store[0] = 9
+        # zero-copy: the view tracks the buffer
+        assert view[0] == 9
+
+    def test_replace_swaps_whole_coloring(self, backend):
+        store = ColorStore([1, 2, 3], backend=backend)
+        store.begin()
+        store[0] = 9
+        store.replace([4, 5, 6])
+        assert not store.in_transaction
+        assert store.to_list() == [4, 5, 6]
+
+    def test_diff_count(self, backend):
+        store = ColorStore([1, 2, 3, 4], backend=backend)
+        assert store.diff_count([1, 2, 3, 4]) == 0
+        assert store.diff_count([1, 9, 3, 9]) == 2
+        assert store.diff_count((9, 9, 9, 9)) == 4
+
+
+@pytest.mark.skipif(np is None, reason="numpy unavailable")
+def test_backends_pinned_equivalent():
+    """Drive both backends through an identical randomized script and
+    assert every observable output matches, step for step."""
+    import random
+
+    rng = random.Random(0)
+    seed = [rng.randrange(1, 9) for _ in range(64)]
+    a = ColorStore(seed, backend="numpy")
+    b = ColorStore(seed, backend="python")
+    for _ in range(50):
+        action = rng.randrange(4)
+        if action == 0:
+            v, c = rng.randrange(64), rng.randrange(1, 9)
+            a[v] = c
+            b[v] = c
+        elif action == 1 and not a.in_transaction:
+            a.begin()
+            b.begin()
+        elif action == 2 and a.in_transaction:
+            assert a.commit() == b.commit()
+        elif action == 3 and a.in_transaction:
+            a.rollback()
+            b.rollback()
+        assert a.to_list() == b.to_list()
+        assert a.in_transaction == b.in_transaction
+        other = [rng.randrange(1, 9) for _ in range(64)]
+        assert a.diff_count(other) == b.diff_count(other)

@@ -17,6 +17,7 @@ from repro.analysis.harness import carve_matching
 from repro.api import SolverConfig, solve, solve_incremental
 from repro.core.incremental import IncrementalColoring
 from repro.errors import (
+    ConflictingUpdateError,
     DeltaChangeError,
     EdgeAlreadyPresentError,
     EdgeNotPresentError,
@@ -141,6 +142,100 @@ class TestTypedRejections:
             # duplicated within one batch
             engine.batch_update(added=[matching[0], matching[0]])
         assert engine.graph is base
+
+    def test_double_delete_in_one_batch(self):
+        # Both copies name a *present* edge, so per-edge presence checks
+        # pass — the batch-level dedup must reject with the typed error,
+        # in either key orientation, leaving the engine bit-identical.
+        base, matching, result = updatable_instance()
+        engine = IncrementalColoring.from_result(base, result)
+        u, v = next(base.edges())
+        before = engine.colors
+        for second in [(u, v), (v, u)]:
+            with pytest.raises(EdgeNotPresentError):
+                engine.batch_update(removed=[(u, v), second])
+        assert engine.graph is base
+        assert engine.colors == before
+        assert engine.totals["ops"] == 0
+
+    def test_add_and_remove_same_key_in_one_batch(self):
+        # Neither an insert nor a delete: must be the dedicated typed
+        # error, not a misleading EdgeAlreadyPresentError.
+        base, matching, result = updatable_instance()
+        engine = IncrementalColoring.from_result(base, result)
+        u, v = next(base.edges())
+        before = engine.colors
+        with pytest.raises(ConflictingUpdateError):
+            engine.batch_update(added=[(u, v)], removed=[(u, v)])
+        with pytest.raises(ConflictingUpdateError):
+            # reversed orientation names the same undirected key
+            engine.batch_update(added=[(v, u)], removed=[(u, v)])
+        with pytest.raises(ConflictingUpdateError):
+            # the conflict wins even when the key is absent from the
+            # graph — batch self-consistency dominates presence checks
+            engine.batch_update(added=[matching[0]], removed=[matching[0]])
+        assert engine.graph is base and engine.colors == before
+        assert engine.totals["ops"] == 0
+
+    def test_mixed_valid_invalid_batch_rejected_atomically(self):
+        # A batch with three fine edges and one bad one must reject as a
+        # whole — no partial application, engine state bit-identical.
+        base, matching, result = updatable_instance(slack=6)
+        engine = IncrementalColoring.from_result(base, result)
+        before = engine.colors
+        edges_before = set(base.edges())
+        with pytest.raises(EdgeNotPresentError):
+            engine.batch_update(
+                added=matching[:3], removed=[matching[3]]  # absent: carved out
+            )
+        with pytest.raises(EdgeAlreadyPresentError):
+            engine.batch_update(added=matching[:3] + [next(base.edges())])
+        assert engine.graph is base
+        assert set(engine.graph.edges()) == edges_before
+        assert engine.colors == before
+        assert engine.totals["ops"] == 0
+
+    def test_dynamic_backend_rejections_leave_state_untouched(self):
+        # Same contract on the in-place backend, where a sloppy
+        # implementation could leave a half-applied delta behind.
+        base, matching, result = updatable_instance()
+        engine = IncrementalColoring.from_result(base, result, backend="dynamic")
+        u, v = next(base.edges())
+        before = engine.colors
+        edges_before = set(engine.graph.edges())
+        for raiser in [
+            lambda: engine.batch_update(removed=[(u, v), (v, u)]),
+            lambda: engine.batch_update(added=[(u, v)], removed=[(u, v)]),
+            lambda: engine.batch_update(added=matching[:2] + [(u, v)]),
+            lambda: engine.delete_edge(*matching[0]),
+        ]:
+            with pytest.raises(
+                (EdgeNotPresentError, EdgeAlreadyPresentError, ConflictingUpdateError)
+            ):
+                raiser()
+        assert set(engine.graph.edges()) == edges_before
+        assert engine.colors == before
+        assert engine.totals["ops"] == 0
+
+    def test_dynamic_backend_delta_change_rejected_exactly(self):
+        # allow_resolve=False on the dynamic backend: the Δ-move check
+        # runs before mutation, so rejection is exact.
+        graph = random_regular_graph(24, 4, seed=1)
+        result = solve(graph, seed=1)
+        engine = IncrementalColoring.from_result(
+            graph, result, backend="dynamic", allow_resolve=False
+        )
+        nonedge = next(
+            (u, v)
+            for u in range(graph.n)
+            for v in range(u + 1, graph.n)
+            if not graph.has_edge(u, v)
+        )
+        before = engine.colors
+        with pytest.raises(DeltaChangeError):
+            engine.insert_edge(*nonedge)
+        assert set(engine.graph.edges()) == set(graph.edges())
+        assert engine.colors == before and engine.delta == 4
 
     def test_delta_raising_insert_rejected_without_resolve(self):
         # Every node of a Δ-regular graph is at degree Δ: any insert
@@ -322,6 +417,121 @@ class TestSolveIncrementalFacade:
         base, matching, result = updatable_instance()
         with pytest.raises(EdgeNotPresentError):
             solve_incremental(base, result, edges_removed=[matching[0]])
+
+
+class TestDynamicBackend:
+    """The updatable-CSR engine path pinned against the immutable one."""
+
+    def test_auto_backend_converts_after_sustained_ops(self):
+        from repro.graphs.dynamic import DynamicGraph
+
+        base, matching, result = updatable_instance(slack=6)
+        engine = IncrementalColoring.from_result(base, result)
+        assert not isinstance(engine._graph, DynamicGraph)
+        for u, v in matching[:3]:
+            engine.insert_edge(u, v)
+        assert isinstance(engine._graph, DynamicGraph)
+        # the public view stays an immutable Graph
+        assert not isinstance(engine.graph, DynamicGraph)
+
+    def test_one_shot_facade_stays_immutable(self):
+        from repro.graphs.dynamic import DynamicGraph
+
+        base, matching, result = updatable_instance()
+        out = solve_incremental(base, result, edges_added=[matching[0]])
+        assert not isinstance(out.graph, DynamicGraph)
+
+    def test_backends_pinned_identical_on_stream(self):
+        """Both backends process the same mixed stream: identical graphs
+        (CSR bit for bit), identical colorings, identical totals."""
+        base, matching, result = updatable_instance(n=64, delta=4, slack=8)
+        imm = IncrementalColoring.from_result(
+            base, result, backend="immutable", validate=True
+        )
+        dyn = IncrementalColoring.from_result(
+            base, result, backend="dynamic", validate=True
+        )
+        for i, (u, v) in enumerate(matching):
+            a = imm.insert_edge(u, v).as_dict()
+            b = dyn.insert_edge(u, v).as_dict()
+            a.pop("wall_time_s")
+            b.pop("wall_time_s")
+            assert a == b
+            if i % 2:
+                imm.delete_edge(u, v)
+                dyn.delete_edge(u, v)
+            assert imm.colors == dyn.colors
+            assert imm.graph.csr() == dyn.graph.csr()
+            assert imm.delta == dyn.delta and imm.palette == dyn.palette
+        totals_imm = dict(imm.totals)
+        totals_dyn = dict(dyn.totals)
+        assert totals_imm == totals_dyn
+
+    def test_dynamic_backend_full_resolve_path(self):
+        # Δ-raising insert on the dynamic backend: resolve rung, state
+        # consistent afterwards and further ops still work.
+        graph = random_regular_graph(24, 4, seed=1)
+        result = solve(graph, seed=1)
+        engine = IncrementalColoring.from_result(
+            graph, result, backend="dynamic", validate=True
+        )
+        nonedge = next(
+            (u, v)
+            for u in range(graph.n)
+            for v in range(u + 1, graph.n)
+            if not graph.has_edge(u, v)
+        )
+        outcome = engine.insert_edge(*nonedge)
+        assert outcome.full_resolve and engine.delta == 5
+        validate_coloring(engine.graph, engine.colors, max_colors=engine.palette)
+        engine.delete_edge(*nonedge)
+        validate_coloring(engine.graph, engine.colors, max_colors=engine.palette)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.data())
+def test_random_stream_backends_agree(data):
+    """Property: the dynamic and immutable backends stay bit-identical
+    (graph CSR, coloring, Δ, palette) across any accepted op stream."""
+    n = data.draw(st.integers(min_value=4, max_value=12), label="n")
+    all_pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = data.draw(
+        st.lists(
+            st.sampled_from(all_pairs), unique=True, min_size=1,
+            max_size=len(all_pairs),
+        ),
+        label="edges",
+    )
+    graph = Graph(n, edges)
+    result = solve(graph, algorithm="auto", seed=0)
+    imm = IncrementalColoring.from_result(
+        graph, result, backend="immutable", validate=True
+    )
+    dyn = IncrementalColoring.from_result(
+        graph, result, backend="dynamic", validate=True
+    )
+    reference = set(edges)
+    ops = data.draw(st.integers(min_value=1, max_value=6), label="ops")
+    for _ in range(ops):
+        present = sorted(reference)
+        absent = sorted(set(all_pairs) - reference)
+        do_insert = data.draw(st.booleans(), label="insert?") if absent else False
+        if not present:
+            do_insert = True
+        if do_insert and absent:
+            edge = data.draw(st.sampled_from(absent), label="edge")
+            imm.insert_edge(*edge)
+            dyn.insert_edge(*edge)
+            reference.add(edge)
+        elif present:
+            edge = data.draw(st.sampled_from(present), label="edge")
+            imm.delete_edge(*edge)
+            dyn.delete_edge(*edge)
+            reference.discard(edge)
+        assert imm.colors == dyn.colors
+        assert imm.graph.csr() == dyn.graph.csr()
+        assert imm.delta == dyn.delta and imm.palette == dyn.palette
+        assert set(dyn.graph.edges()) == reference
 
 
 @settings(max_examples=25, deadline=None)
