@@ -3,7 +3,8 @@
 PY := PYTHONPATH=src python
 
 .PHONY: test check lint bench-smoke bench-regression bench-sweep bench-million \
-	serve-smoke bench-service incremental-smoke bench-incremental
+	serve-smoke bench-service incremental-smoke bench-incremental \
+	shard-smoke bench-sharded
 
 test:
 	$(PY) -m pytest -x -q
@@ -11,11 +12,13 @@ test:
 # What CI runs: the tier-1 suite, the bench-rot smoke pass (plus the
 # perf-regression gate over its timings), the service smoke (boot the
 # TCP server, fire 50 mixed requests through ColoringClient, assert
-# validity + cache hits + load shedding), and the incremental smoke
+# validity + cache hits + load shedding), the incremental smoke
 # (single-edge update vs fresh solve at n=32768: >= 10x, digest-chained,
-# validity-asserted), so the solver facade, the bench harness, the
-# serving layer and the update path cannot rot independently.
-check: test bench-regression serve-smoke incremental-smoke
+# validity-asserted), and the shard smoke (2-shard cluster bring-up,
+# routed solve/update/stats, a worker killed and restarted mid-load), so
+# the solver facade, the bench harness, the serving layer, the update
+# path and the scale-out tier cannot rot independently.
+check: test bench-regression serve-smoke incremental-smoke shard-smoke
 
 # Style gate (CI installs a pinned ruff; see .github/workflows/ci.yml).
 lint:
@@ -38,6 +41,21 @@ incremental-smoke:
 # Full incremental sweep: update-op latency vs fresh solves across edit sizes.
 bench-incremental:
 	$(PY) benchmarks/bench_s2_incremental.py
+
+# Sharded-service smoke: real 2-shard fleet (child processes) behind the
+# consistent-hash router — routed solve/update/stats asserted
+# bit-identical and chain-local, one shard SIGKILLed and restarted
+# mid-load — then the throughput gate (2-shard >= 1.5x single-process,
+# auto-skipped on boxes with < 2 CPUs).  Refresh the baseline with:
+#   python scripts/check_bench_regression.py --sharded-current benchmarks/results/s3_sharded.json --update-baseline
+shard-smoke:
+	$(PY) benchmarks/bench_s3_sharded.py --smoke
+	python scripts/check_bench_regression.py \
+		--sharded-current benchmarks/results/s3_sharded.json
+
+# Full sharded load test: offered-vs-achieved QPS at 1/2/4 shards.
+bench-sharded:
+	$(PY) benchmarks/bench_s3_sharded.py
 
 # Full serving-layer load test (open-loop traffic; JSON in benchmarks/results/).
 bench-service:

@@ -24,12 +24,25 @@ calibrated by the cold fresh-solve time of the same run — the one number
 in that report that tracks raw machine speed and not the incremental
 code paths under test.
 
+The sharded service gets a third gate over the
+``bench_s3_sharded.py --smoke`` report (``--sharded-current``): the
+2-shard-vs-single-process throughput ratio must clear the absolute
+``--sharded-floor`` (default 1.5×).  A speedup ratio is already
+machine-calibrated (both sides ran on the same box in the same run), but
+it is *meaningless* on a single-CPU box — two solver processes cannot
+outrun one on one core — so the throughput gate is skipped (with a
+message, exit 0) when the report's recorded ``cpu_count`` is below 2.
+The report's correctness sections (bit-identity, update locality,
+kill/restart) are asserted by the bench itself regardless of CPU count.
+
 Usage::
 
     python scripts/check_bench_regression.py --current BENCH_smoke.json
     python scripts/check_bench_regression.py --current ... --update-baseline
     python scripts/check_bench_regression.py \
         --incremental-current benchmarks/results/s2_incremental.json
+    python scripts/check_bench_regression.py \
+        --sharded-current benchmarks/results/s3_sharded.json
 
 Exit codes: 0 ok, 1 regression(s), 2 bad input.
 """
@@ -46,6 +59,9 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "bench_smoke_baseline.json"
 DEFAULT_INC_BASELINE = (
     REPO_ROOT / "benchmarks" / "baselines" / "s2_incremental_baseline.json"
+)
+DEFAULT_SHARDED_BASELINE = (
+    REPO_ROOT / "benchmarks" / "baselines" / "s3_sharded_baseline.json"
 )
 
 
@@ -228,6 +244,102 @@ def run_incremental_gate(args: argparse.Namespace) -> int:
     return 0
 
 
+def sharded_metrics(doc: dict) -> dict:
+    """The gated numbers from a ``bench_s3_sharded`` report."""
+    try:
+        return {
+            "cpu_count": int(doc["cpu_count"]),
+            "speedup_2shard": (
+                None if doc["speedup_2shard"] is None
+                else float(doc["speedup_2shard"])
+            ),
+            "single_qps": float(doc["single_process"]["achieved_qps"]),
+            "sharded_qps": {
+                k: float(v["achieved_qps"])
+                for k, v in doc["sharded"].items()
+            },
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"not a bench_s3_sharded report (missing {exc})") from exc
+
+
+def run_sharded_gate(args: argparse.Namespace) -> int:
+    try:
+        current_doc = json.loads(Path(args.sharded_current).read_text())
+        current = sharded_metrics(current_doc)
+    except (OSError, ValueError) as exc:
+        print(
+            f"check_bench_regression: bad --sharded-current: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    baseline_path = Path(args.sharded_baseline)
+    if args.update_baseline:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(json.dumps(current_doc, indent=2) + "\n")
+        print(f"sharded baseline updated: {baseline_path}")
+        return 0
+    qps_line = ", ".join(
+        f"{k}-shard {v:.1f}" for k, v in sorted(current["sharded_qps"].items())
+    )
+    print(
+        f"sharded run: cpu_count={current['cpu_count']}, single "
+        f"{current['single_qps']:.1f} qps, {qps_line}"
+    )
+    if current["cpu_count"] < 2:
+        print(
+            "check_bench_regression: sharded throughput gate SKIPPED — "
+            f"this box has {current['cpu_count']} CPU(s); two solver "
+            "processes cannot outrun one on a single core.  The bench's "
+            "correctness assertions (bit-identity, update locality, "
+            "kill/restart) still ran and gated."
+        )
+        return 0
+    regressions: list[str] = []
+    speedup = current["speedup_2shard"]
+    if speedup is None:
+        regressions.append("report has no 2-shard topology measurement")
+    elif speedup < args.sharded_floor:
+        regressions.append(
+            f"2-shard speedup {speedup:.2f}x < the {args.sharded_floor:.2f}x "
+            "floor"
+        )
+    else:
+        print(
+            f"  2-shard speedup {speedup:.2f}x >= {args.sharded_floor:.2f}x "
+            "floor: ok"
+        )
+    # Relative compare against the committed baseline, only when that
+    # baseline was itself recorded on a multi-CPU box (a 1-CPU baseline
+    # carries no scale-out signal to regress against).
+    try:
+        baseline = sharded_metrics(json.loads(baseline_path.read_text()))
+    except (OSError, ValueError):
+        baseline = None
+        print("  (no usable sharded baseline; absolute floor only)")
+    if baseline is not None and baseline["cpu_count"] >= 2 and speedup:
+        base_speedup = baseline["speedup_2shard"] or 0.0
+        if base_speedup and speedup < base_speedup / args.threshold:
+            regressions.append(
+                f"2-shard speedup regressed: baseline {base_speedup:.2f}x "
+                f"-> {speedup:.2f}x (> {args.threshold:.2f}x drop)"
+            )
+        else:
+            print(
+                f"  vs baseline speedup {base_speedup:.2f}x: ok"
+            )
+    if regressions:
+        print(
+            f"check_bench_regression: {len(regressions)} regression(s):",
+            file=sys.stderr,
+        )
+        for regression in regressions:
+            print(f"  {regression}", file=sys.stderr)
+        return 1
+    print("check_bench_regression: ok (sharded)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument(
@@ -243,6 +355,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--incremental-baseline", default=str(DEFAULT_INC_BASELINE),
         help=f"committed incremental baseline (default {DEFAULT_INC_BASELINE})",
+    )
+    parser.add_argument(
+        "--sharded-current",
+        help="bench_s3_sharded JSON to gate the 2-shard throughput floor "
+        "(skipped with a message on boxes with < 2 CPUs)",
+    )
+    parser.add_argument(
+        "--sharded-baseline", default=str(DEFAULT_SHARDED_BASELINE),
+        help=f"committed sharded baseline (default {DEFAULT_SHARDED_BASELINE})",
+    )
+    parser.add_argument(
+        "--sharded-floor", type=float, default=1.5,
+        help="absolute 2-shard-vs-single-process speedup floor (default 1.5)",
     )
     parser.add_argument(
         "--baseline", default=str(DEFAULT_BASELINE),
@@ -264,8 +389,13 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.incremental_current:
         return run_incremental_gate(args)
+    if args.sharded_current:
+        return run_sharded_gate(args)
     if not args.current:
-        parser.error("one of --current / --incremental-current is required")
+        parser.error(
+            "one of --current / --incremental-current / --sharded-current "
+            "is required"
+        )
 
     try:
         current_doc = json.loads(Path(args.current).read_text())

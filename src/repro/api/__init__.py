@@ -43,6 +43,7 @@ from repro.api.result import ColoringResult
 from repro.api.solver import (
     IncrementalUpdate,
     SolverPool,
+    apply_incremental,
     default_workers,
     solve,
     solve_incremental,
@@ -53,6 +54,7 @@ __all__ = [
     "solve",
     "solve_many",
     "solve_incremental",
+    "apply_incremental",
     "IncrementalUpdate",
     "SolverPool",
     "SolverConfig",

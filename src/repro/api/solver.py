@@ -31,6 +31,7 @@ __all__ = [
     "solve",
     "solve_many",
     "solve_incremental",
+    "apply_incremental",
     "IncrementalUpdate",
     "SolverPool",
     "default_workers",
@@ -97,10 +98,14 @@ class IncrementalUpdate:
     ``rounds`` is the charged LOCAL repair cost, not a full pipeline's),
     ``graph`` is the child graph itself (reusable as the next parent),
     and ``update`` is the raw per-op outcome dict.
+
+    ``graph`` is None only for :func:`apply_incremental` calls with
+    ``materialize_graph=False`` — sustained streams keep the graph inside
+    the engine and skip the O(n + m) snapshot per op.
     """
 
     result: ColoringResult
-    graph: Graph
+    graph: Graph | None
     update: dict[str, Any]
 
 
@@ -135,39 +140,67 @@ def solve_incremental(
     engine = IncrementalColoring.from_result(
         graph, parent, config=config.without_observer()
     )
+    return apply_incremental(engine, edges_added, edges_removed, config)
+
+
+def apply_incremental(
+    engine: "Any",
+    edges_added: Iterable[tuple[int, int]] = (),
+    edges_removed: Iterable[tuple[int, int]] = (),
+    config: SolverConfig | None = None,
+    *,
+    materialize_graph: bool = True,
+    **overrides: Any,
+) -> IncrementalUpdate:
+    """One delta against a **long-lived** :class:`repro.core.incremental.
+    IncrementalColoring` engine, packaged exactly like
+    :func:`solve_incremental`.
+
+    Where ``solve_incremental`` builds a fresh engine per call (the
+    one-shot price), this is the sustained-stream entry point: the caller
+    keeps the engine across ops — the service's chain-head
+    ``GraphStore`` does — and each call advances it in place.  The
+    returned result is bit-identical to what ``solve_incremental`` would
+    produce for the same lineage (same colors, seed, and stats layout),
+    which is what pins the service's chained-update digests to the old
+    re-materializing path.
+
+    ``config.validate`` checks the op through the engine's own dirty-
+    region validation (O(vol(region)) for repairs, full pass after a
+    re-solve — the same contract ``solve_incremental`` applied
+    externally, minus the graph snapshot).  ``materialize_graph=False``
+    additionally skips the O(n + m) ``engine.graph`` snapshot and
+    returns ``graph=None``; callers on the streaming path read sizes
+    from the engine instead.
+    """
+    config = _make_config(config, overrides)
+    engine.set_resolve_config(config.without_observer())
     started = time.perf_counter()
-    outcome = engine.batch_update(edges_added, edges_removed)
-    child = engine.graph
-    if config.validate:
-        # Repaired updates only need the dirty region checked (the parent
-        # was valid and nothing else changed); full re-solves validate in
-        # full.  See Graph.validate_coloring_region for the contract.
-        # Validation reads the engine's color store copy-free.
-        view = engine.colors_view()
-        dirty = engine.last_dirty_region
-        if dirty is None:
-            validate_coloring(child, view, max_colors=engine.palette or None)
-        else:
-            child.validate_coloring_region(
-                view, dirty, max_colors=engine.palette or None
-            )
-    child_colors = engine.colors
+    validate_here = bool(config.validate) and not engine.validate
+    if validate_here:
+        engine.validate = True
+    try:
+        outcome = engine.batch_update(edges_added, edges_removed)
+    finally:
+        if validate_here:
+            engine.validate = False
     update = outcome.as_dict()
     result = ColoringResult(
         algorithm=engine.algorithm,
-        n=child.n,
+        n=engine.n,
         delta=engine.delta,
         palette=engine.palette,
-        colors=tuple(child_colors),
+        colors=tuple(engine.colors),
         rounds=outcome.rounds,
         phase_rounds={"incremental-repair": outcome.rounds},
         phase_stats={"incremental-repair": dict(update)},
         stats={"incremental": dict(update)},
-        seed=parent.seed,
+        seed=engine.result_seed,
         wall_time_s=time.perf_counter() - started,
     )
     _notify(config, result)
-    return IncrementalUpdate(result=result, graph=child, update=update)
+    graph = engine.graph if materialize_graph else None
+    return IncrementalUpdate(result=result, graph=graph, update=update)
 
 
 def _solve_task(task: tuple[Graph, SolverConfig]) -> ColoringResult:

@@ -13,7 +13,10 @@ Gives downstream users a zero-code path to the library:
 * ``serve`` — run the newline-delimited-JSON coloring service
   (:mod:`repro.service`): an asyncio TCP gateway that fingerprints,
   caches, micro-batches and load-sheds solve requests over a warmed
-  :class:`repro.api.SolverPool`.  See docs/SERVICE.md for the protocol.
+  :class:`repro.api.SolverPool`.  ``--shards N`` scales out to N
+  supervised worker processes behind a consistent-hash router speaking
+  the same protocol.  See docs/SERVICE.md for the protocol and the
+  sharding topology.
 * ``demo`` — run one of the bundled example scenarios.
 * ``info`` — parse a graph and print its structural profile (Δ, girth
   probe, niceness, Gallai-tree status, component count).
@@ -35,6 +38,7 @@ Examples::
     python -m repro bench --sweep --sizes 2000,20000,250000 --json out.json
     python -m repro bench --sweep --workers 4 --batch 8
     python -m repro serve --port 8512 --workers 2 --max-queue 128
+    python -m repro serve --port 8512 --shards 2
 """
 
 from __future__ import annotations
@@ -287,13 +291,43 @@ def _bench_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _publish_port(port_file: str | None, host: str, port: int) -> None:
+    """Publish ``host port\\n`` for the ShardWorker boot handshake.
+
+    Written to a sibling temp file and ``os.replace``d so a reader never
+    observes a half-written line.
+    """
+    if not port_file:
+        return
+    import os
+
+    target = Path(port_file)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(f"{host} {port}\n")
+    os.replace(tmp, target)
+
+
+def _install_stop_handlers(loop, stop) -> None:
+    """SIGTERM/SIGINT set the stop event → graceful drain (best effort:
+    not every platform/loop supports add_signal_handler)."""
+    import signal
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.service.cache import ResultCache
-    from repro.service.server import ColoringServer
+    if args.shards > 1:
+        return _cmd_serve_sharded(args)
 
+    from repro.service.cache import ResultCache
     from repro.service.graphstore import GraphStore
+    from repro.service.server import ColoringServer
 
     cache = ResultCache(
         max_entries=args.cache_entries,
@@ -313,7 +347,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
     async def _serve() -> None:
+        stop = asyncio.Event()
+        _install_stop_handlers(asyncio.get_running_loop(), stop)
         host, port = await server.start()
+        _publish_port(args.port_file, host, port)
         print(
             f"# repro service listening on {host}:{port} "
             f"[workers={args.workers} max_batch={args.max_batch} "
@@ -321,14 +358,81 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         try:
-            await server.serve_forever()
+            await stop.wait()
         finally:
-            await server.close()
+            await server.shutdown(drain_s=args.drain_s)
+        print("# repro service stopped (drained)", file=sys.stderr)
 
     try:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         print("# repro service stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve_sharded(args: argparse.Namespace) -> int:
+    """``repro serve --shards N``: supervised worker fleet + front tier.
+
+    Each shard is a full single-process server (its own solver pool,
+    cache and graph store) spawned as a child; the router speaks the
+    same NDJSON protocol on ``--host:--port``, so clients are unchanged.
+    """
+    import asyncio
+
+    from repro.service.sharding import ShardRouter, ShardSupervisor
+
+    serve_args = {
+        "workers": args.workers,
+        "max-batch": args.max_batch,
+        "max-wait-ms": args.max_wait_ms,
+        "max-queue": args.max_queue,
+        "max-cost": args.max_cost,
+        "graph-store-entries": args.graph_store_entries,
+        "cache-entries": args.cache_entries,
+        "cache-bytes": args.cache_bytes,
+        "cache-ttl": args.cache_ttl,
+        "drain-s": args.drain_s,
+    }
+    supervisor = ShardSupervisor(args.shards, host=args.host, serve_args=serve_args)
+
+    async def _serve() -> None:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        _install_stop_handlers(loop, stop)
+        # Fleet bring-up blocks on N child boot handshakes — off the loop.
+        addresses = await loop.run_in_executor(None, supervisor.start)
+        router = ShardRouter(
+            addresses, host=args.host, port=args.port, vnodes=args.vnodes
+        )
+        monitor_task = None
+        try:
+            host, port = await router.start()
+            _publish_port(args.port_file, host, port)
+            shard_list = ", ".join(f"{h}:{p}" for h, p in addresses)
+            print(
+                f"# repro sharded service listening on {host}:{port} "
+                f"[shards={args.shards} vnodes={args.vnodes} "
+                f"workers/shard={args.workers}] -> {shard_list}",
+                file=sys.stderr,
+            )
+            monitor_task = loop.create_task(
+                supervisor.monitor(router, stop=stop)
+            )
+            await stop.wait()
+        finally:
+            await router.shutdown(drain_s=args.drain_s)
+            if monitor_task is not None:
+                await monitor_task
+            await loop.run_in_executor(
+                None, lambda: supervisor.stop(drain_s=args.drain_s)
+            )
+        print("# repro sharded service stopped (drained)", file=sys.stderr)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        supervisor.stop(drain_s=1.0)
+        print("# repro sharded service stopped", file=sys.stderr)
     return 0
 
 
@@ -449,6 +553,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--cache-ttl", type=float, default=0.0,
         help="result TTL in seconds (<= 0 = entries never expire)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=1,
+        help="run this many shard worker processes behind a consistent-"
+        "hash router (1 = plain single-process server)",
+    )
+    serve.add_argument(
+        "--vnodes", type=int, default=128,
+        help="virtual nodes per shard on the hash ring (--shards > 1)",
+    )
+    serve.add_argument(
+        "--port-file",
+        help="publish the bound 'host port' to this file once listening "
+        "(the shard supervisor's boot handshake)",
+    )
+    serve.add_argument(
+        "--drain-s", type=float, default=5.0,
+        help="graceful-shutdown deadline: how long SIGTERM/SIGINT waits "
+        "for in-flight requests before forcing the close",
     )
     serve.set_defaults(func=_cmd_serve)
 

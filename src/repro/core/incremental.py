@@ -213,6 +213,10 @@ class IncrementalColoring:
         self.palette = palette if palette is not None else self._delta
         self.algorithm = algorithm
         self.seed = seed
+        # The seed recorded on results *derived from* this engine's state
+        # (may legitimately be None when the seeding result's was); the
+        # engine's own ``seed`` stays an int for the re-solve config.
+        self.result_seed: int | None = seed
         self.backend = backend
         self.allow_resolve = allow_resolve
         self.validate = validate
@@ -246,7 +250,9 @@ class IncrementalColoring:
         kwargs.setdefault("validate_seed", False)
         kwargs.setdefault("seed", result.seed if result.seed is not None else 0)
         kwargs.setdefault("algorithm", result.algorithm)
-        return cls(graph, result.colors, result.palette, **kwargs)
+        engine = cls(graph, result.colors, result.palette, **kwargs)
+        engine.result_seed = result.seed
+        return engine
 
     # -- views -------------------------------------------------------------
 
@@ -274,6 +280,26 @@ class IncrementalColoring:
     @property
     def delta(self) -> int:
         return self._delta
+
+    @property
+    def n(self) -> int:
+        """Node count of the current graph, without snapshotting it
+        (``engine.graph`` on the dynamic path is an O(n + m) copy; the
+        service's admission control only needs the size)."""
+        return self._graph.n
+
+    @property
+    def num_edges(self) -> int:
+        """Edge count of the current graph, snapshot-free (see :attr:`n`)."""
+        return self._graph.num_edges
+
+    def set_resolve_config(self, config: "Any | None") -> None:
+        """Replace the :class:`repro.api.SolverConfig` used by the full
+        re-solve rung.  Long-lived engines (the service's chain heads)
+        serve many requests, each carrying its own config; the engine is
+        keyed by a digest that covers the config, so updating it here
+        keeps rung 3 consistent with what the caller asked for."""
+        self._config = config
 
     @property
     def last_dirty_region(self) -> list[int] | None:

@@ -109,6 +109,23 @@ class ServiceOverloadedError(ReproError):
     """
 
 
+class ShardUnavailableError(ServiceOverloadedError):
+    """Raised by the shard router when the shard owning a request's
+    digest arc is down (crashed, restarting, or unreachable).
+
+    Subclasses :class:`ServiceOverloadedError` deliberately: on the wire
+    it is an ``overloaded`` reply — the retriable kind — because a
+    supervised shard is expected back within its restart backoff, so
+    retry-with-backoff is exactly the right client behavior.
+    """
+
+
+class ShardFailedError(ReproError):
+    """Raised by the shard supervisor when a worker process cannot be
+    (re)started: it died before publishing its port, or exhausted its
+    restart budget within the backoff window."""
+
+
 class ServiceProtocolError(ReproError):
     """Raised for malformed service requests/replies (bad JSON, missing
     fields, out-of-range graph payloads)."""

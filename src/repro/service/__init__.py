@@ -20,7 +20,11 @@ tail latency, and cache hit rate become first-class measured quantities.
   histograms (p50/p95/p99), QPS and queue depth, one JSON snapshot;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — the
   newline-delimited-JSON TCP protocol (:class:`ColoringServer`,
-  :class:`ColoringClient`, :class:`AsyncColoringClient`).
+  :class:`ColoringClient`, :class:`AsyncColoringClient`);
+* :mod:`repro.service.sharding` — horizontal scale-out: a consistent-
+  hash :class:`HashRing` over the digest keyspace, supervised
+  :class:`ShardWorker` child processes, and the :class:`ShardRouter`
+  NDJSON front tier (``repro serve --shards N``).
 
 Quick start::
 
@@ -49,7 +53,13 @@ from repro.service.fingerprint import (
 )
 from repro.service.graphstore import GraphStore
 from repro.service.metrics import LatencyWindow, ServiceMetrics
-from repro.service.server import ColoringServer
+from repro.service.server import ColoringServer, NdjsonEndpoint
+from repro.service.sharding import (
+    HashRing,
+    ShardRouter,
+    ShardSupervisor,
+    ShardWorker,
+)
 
 __all__ = [
     "BatchingGateway",
@@ -61,9 +71,14 @@ __all__ = [
     "ServiceMetrics",
     "LatencyWindow",
     "ColoringServer",
+    "NdjsonEndpoint",
     "ColoringClient",
     "AsyncColoringClient",
     "SolveReply",
+    "HashRing",
+    "ShardRouter",
+    "ShardSupervisor",
+    "ShardWorker",
     "graph_fingerprint",
     "config_fingerprint",
     "request_fingerprint",

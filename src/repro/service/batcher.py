@@ -28,11 +28,16 @@ dispatcher keep serving (see ``tests/test_service.py``).
 
 Graph streams: :meth:`BatchingGateway.submit_update` serves the
 ``update`` verb — an edge delta against a previously served instance,
-addressed by the digest its reply carried.  The parent graph comes from
-the gateway's :class:`repro.service.graphstore.GraphStore` and the
-parent coloring from the result cache; the repair runs through
-:func:`repro.api.solve_incremental` and the child is cached under a
-version-chained digest so updates compose.
+addressed by the digest its reply carried.  The first update against a
+parent builds a chain-head :class:`repro.core.incremental.
+IncrementalColoring` engine from the stored graph + cached coloring;
+every further update **moves** that engine along the version chain
+(popped at the parent digest, delta applied in place via
+:func:`repro.api.apply_incremental`, re-stored at the child digest), so
+a long-lived stream pays the dynamic backend's in-place price instead
+of re-materializing an immutable child per op.  Child results are
+cached under version-chained digests exactly as before — the digests,
+colors, and stats are pinned bit-identical to the old path.
 """
 
 from __future__ import annotations
@@ -45,7 +50,7 @@ from dataclasses import dataclass
 
 from repro.api.config import SolverConfig
 from repro.api.result import ColoringResult
-from repro.api.solver import SolverPool, solve_incremental, solve_many
+from repro.api.solver import SolverPool, apply_incremental, solve_many
 from repro.errors import ServiceOverloadedError, StaleParentError
 from repro.graphs.graph import Graph
 from repro.service.cache import ResultCache
@@ -384,23 +389,39 @@ class BatchingGateway:
         edges_added: "list[tuple[int, int]]" = (),
         edges_removed: "list[tuple[int, int]]" = (),
         config: SolverConfig | None = None,
+        *,
+        backend: str = "auto",
     ) -> UpdateReply:
         """Resolve one edge-stream update against a cached parent.
 
         The parent is addressed by the digest a previous ``solve`` (or
-        ``update``) reply carried; its graph comes from the gateway's
-        :class:`GraphStore` and its coloring from the result cache, so a
+        ``update``) reply carried.  If the graph store holds a live
+        chain-head engine there, the delta applies **in place** (the
+        engine moves to the child digest); otherwise a fresh engine is
+        seeded from the stored parent graph + cached coloring — so a
         known parent pays *no* graph upload, construction, or fresh
-        solve — only delta application and local repair
-        (:func:`repro.api.solve_incremental`).  The child is cached under
-        a version-chained digest (:func:`repro.service.fingerprint.
-        update_fingerprint`) that is itself a valid ``parent_digest``.
+        solve, and a sustained chain additionally skips per-op child
+        materialization (:func:`repro.api.apply_incremental`).  The
+        child result is cached under a version-chained digest
+        (:func:`repro.service.fingerprint.update_fingerprint`) that is
+        itself a valid ``parent_digest``.
+
+        ``backend`` picks the chain engine's delta-application mode when
+        one has to be *created* (``"auto"``, ``"dynamic"``,
+        ``"immutable"`` — see :class:`repro.core.incremental.
+        IncrementalColoring`); long-lived streaming clients pass
+        ``"dynamic"`` to skip the auto path's warm-up ops.  It never
+        enters the child digest: results are backend-equivalent by the
+        engine's pinned contract.
 
         Raises :class:`StaleParentError` when the parent is unknown
-        (evicted or never solved here) — the caller should fall back to
-        a full ``solve`` — and :class:`ServiceOverloadedError` under the
+        (evicted, never solved here, or a chain head that already
+        advanced past this digest) — the caller should fall back to a
+        full ``solve`` — and :class:`ServiceOverloadedError` under the
         same admission bounds as ``submit``.  Rejected deltas re-raise
-        the engine's typed errors with the gateway state unchanged.
+        the engine's typed errors with the gateway state unchanged (the
+        chain head, exact by the engine's rollback contract, goes back
+        under the parent digest).
         """
         config = (config or SolverConfig()).without_observer()
         started = time.perf_counter()
@@ -450,30 +471,60 @@ class BatchingGateway:
                 update=dict(result.stats.get("incremental", {})),
             )
 
-        parent_graph = self.graph_store.get(parent_digest)
-        parent_result = self.cache.get(parent_digest)
-        if parent_graph is None or parent_result is None:
-            raise StaleParentError(
-                f"unknown parent {parent_digest[:16]}…: not in the graph "
-                "store / result cache (evicted or never solved here); "
-                "fall back to a full solve of the child graph"
-            )
-        cost = request_cost(parent_graph.n, parent_graph.num_edges)
-        self._admit(cost)
+        # Take ownership of the chain head if one lives at the parent
+        # digest; otherwise fall back to seeding a fresh engine from the
+        # stored graph + cached result.  Ownership (pop, not get) is what
+        # makes the in-place mutation safe: a concurrent update on the
+        # same parent loses the race and sees a stale parent — retriable.
+        engine = self.graph_store.pop_engine(parent_digest)
+        parent_graph = parent_result = None
+        if engine is None:
+            parent_graph = self.graph_store.get(parent_digest)
+            parent_result = self.cache.get(parent_digest)
+            if parent_graph is None or parent_result is None:
+                raise StaleParentError(
+                    f"unknown parent {parent_digest[:16]}…: not in the graph "
+                    "store / result cache (evicted, never solved here, or a "
+                    "chain that moved on); fall back to a full solve of the "
+                    "child graph"
+                )
+            cost = request_cost(parent_graph.n, parent_graph.num_edges)
+        else:
+            cost = request_cost(engine.n, engine.num_edges)
+        try:
+            self._admit(cost)
+        except BaseException:
+            if engine is not None:
+                self.graph_store.put_engine(parent_digest, engine)
+            raise
 
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._inflight[child_digest] = future
         self._outstanding += 1
         self._outstanding_cost += cost
         self.metrics.set_queue_depth(self._outstanding)
-        try:
-            updated = await asyncio.get_running_loop().run_in_executor(
-                None,
-                lambda: solve_incremental(
-                    parent_graph, parent_result, edges_added, edges_removed, config
-                ),
+
+        def _apply() -> "Any":
+            nonlocal engine
+            if engine is None:
+                from repro.core.incremental import IncrementalColoring
+
+                engine = IncrementalColoring.from_result(
+                    parent_graph, parent_result, config=config, backend=backend
+                )
+            return apply_incremental(
+                engine, edges_added, edges_removed, config,
+                materialize_graph=False,
             )
+
+        try:
+            updated = await asyncio.get_running_loop().run_in_executor(None, _apply)
         except BaseException as exc:
+            # Rejected deltas leave the engine state exactly unchanged
+            # (the engine's rollback contract), so the chain head goes
+            # back where it was and the caller may correct and retry.
+            if engine is not None:
+                self.graph_store.put_engine(parent_digest, engine)
             self.metrics.record_failed()
             if not future.done():
                 future.set_exception(
@@ -485,7 +536,7 @@ class BatchingGateway:
             raise
         else:
             self.cache.put(child_digest, updated.result)
-            self.graph_store.put(child_digest, updated.graph)
+            self.graph_store.put_engine(child_digest, engine)
             if not future.done():
                 future.set_result(updated.result)
             self.metrics.record_request(time.perf_counter() - started, cached=False)

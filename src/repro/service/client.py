@@ -163,6 +163,7 @@ def _update_request(
     edges_removed: Any,
     config: SolverConfig | dict | None,
     overrides: dict,
+    backend: str | None = None,
 ) -> dict[str, Any]:
     request: dict[str, Any] = {
         "op": "update",
@@ -170,6 +171,8 @@ def _update_request(
         "edges_added": [list(e) for e in edges_added],
         "edges_removed": [list(e) for e in edges_removed],
     }
+    if backend is not None:
+        request["backend"] = backend
     cfg = config_payload(config, overrides)
     if cfg is not None:
         request["config"] = cfg
@@ -225,6 +228,7 @@ class ColoringClient:
         edges_removed: Any = (),
         config: SolverConfig | dict | None = None,
         fallback_graph: Any = None,
+        backend: str | None = None,
         **overrides: Any,
     ) -> SolveReply:
         """Apply an edge delta to a previously served instance.
@@ -232,6 +236,13 @@ class ColoringClient:
         ``parent_digest`` is the ``fingerprint`` of an earlier solve (or
         update) reply; the returned reply's ``fingerprint`` is the child
         digest for chaining.
+
+        ``backend`` (``"auto"`` / ``"dynamic"`` / ``"immutable"``, None =
+        server default) picks the server-side chain engine's delta mode
+        when this update creates one — long-lived streaming clients pass
+        ``"dynamic"`` to get the in-place sustained-ops price from the
+        first op.  Results are backend-equivalent; the digest chain does
+        not depend on it.
 
         When the server evicted the parent it answers ``stale_parent``;
         passing the parent instance as ``fallback_graph`` (any shape
@@ -253,7 +264,8 @@ class ColoringClient:
             return _parse_solve_reply(
                 self._roundtrip(
                     _update_request(
-                        parent_digest, edges_added, edges_removed, config, overrides
+                        parent_digest, edges_added, edges_removed, config,
+                        overrides, backend,
                     )
                 )
             )
@@ -360,17 +372,20 @@ class AsyncColoringClient:
         edges_removed: Any = (),
         config: SolverConfig | dict | None = None,
         fallback_graph: Any = None,
+        backend: str | None = None,
         **overrides: Any,
     ) -> SolveReply:
         """Async counterpart of :meth:`ColoringClient.update` (including
-        the ``fallback_graph`` stale-parent auto re-solve)."""
+        the ``fallback_graph`` stale-parent auto re-solve and the
+        ``backend`` chain-engine selector)."""
         edges_added = [tuple(e) for e in edges_added]
         edges_removed = [tuple(e) for e in edges_removed]
         try:
             return _parse_solve_reply(
                 await self._roundtrip(
                     _update_request(
-                        parent_digest, edges_added, edges_removed, config, overrides
+                        parent_digest, edges_added, edges_removed, config,
+                        overrides, backend,
                     )
                 )
             )

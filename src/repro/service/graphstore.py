@@ -7,11 +7,28 @@ parent *graph* to apply the delta and run the repair machinery against.
 digests the cache uses, bounded by entry count and (estimated) bytes —
 a CSR graph is two native-int buffers, so the accounting is tight.
 
-Losing an entry is never incorrect: an ``update`` whose parent was
-evicted fails with :class:`repro.errors.StaleParentError` and the client
-falls back to a full ``solve`` of the child graph, which re-seeds the
-store.  Thread-safe for the same reason the cache is — the gateway reads
-on the event loop while solves complete in worker threads.
+Two entry kinds share the LRU:
+
+* **graphs** — immutable :class:`repro.graphs.Graph` instances, seeded
+  by ``solve`` replies (any of them can parent an update).
+* **chain heads** — live :class:`repro.core.incremental.
+  IncrementalColoring` engines owning a
+  :class:`repro.graphs.dynamic.DynamicGraph`.  An ``update`` *moves*
+  the engine from the parent digest to the child digest
+  (:meth:`pop_engine` → apply delta in place → :meth:`put_engine`), so
+  a chain of k updates mutates one slack-padded CSR instead of
+  re-materializing k immutable children — the sustained-ops price from
+  docs/INCREMENTAL.md, now behind the ``update`` verb.
+
+Moving the engine means only the chain *head* stays updatable: an
+update addressing a digest the chain has advanced past finds a plain
+graph (if a solve seeded one) or nothing.  Losing an entry is never
+incorrect: an ``update`` whose parent was evicted — or whose chain
+moved on — fails with :class:`repro.errors.StaleParentError` and the
+client falls back to a full ``solve`` of the child graph, which
+re-seeds the store.  Thread-safe for the same reason the cache is — the
+gateway reads on the event loop while solves complete in worker
+threads.
 """
 
 from __future__ import annotations
@@ -22,7 +39,10 @@ from typing import Any
 
 from repro.graphs.graph import Graph
 
-__all__ = ["GraphStore", "estimate_graph_nbytes"]
+__all__ = ["GraphStore", "estimate_graph_nbytes", "estimate_engine_nbytes"]
+
+_KIND_GRAPH = "graph"
+_KIND_ENGINE = "engine"
 
 
 def estimate_graph_nbytes(graph: Graph) -> int:
@@ -33,16 +53,24 @@ def estimate_graph_nbytes(graph: Graph) -> int:
     return 256 + offsets.itemsize * len(offsets) + indices.itemsize * len(indices)
 
 
+def estimate_engine_nbytes(engine: Any) -> int:
+    """Footprint of one chain-head engine: the slack-padded dynamic CSR
+    (offsets + padded indices, charged at 2× the live edges to cover the
+    slack), the color store, and the undo/journal machinery overhead."""
+    return 512 + 16 * engine.n + 32 * engine.num_edges
+
+
 class GraphStore:
-    """An LRU map ``fingerprint -> Graph`` with byte accounting.
+    """An LRU map ``fingerprint -> Graph | chain-head engine`` with byte
+    accounting.
 
     Parameters
     ----------
     max_entries:
         Entry-count bound (≥ 1).
     max_bytes:
-        Bound on the summed :func:`estimate_graph_nbytes`; ``None``
-        disables byte-based eviction.
+        Bound on the summed byte estimates; ``None`` disables byte-based
+        eviction.
     """
 
     def __init__(
@@ -55,14 +83,21 @@ class GraphStore:
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self._lock = threading.Lock()
-        self._entries: OrderedDict[str, tuple[Graph, int]] = OrderedDict()
+        self._entries: OrderedDict[str, tuple[str, Any, int]] = OrderedDict()
         self._bytes = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def get(self, key: str) -> Graph | None:
-        """The stored graph for ``key``, or None."""
+        """The stored graph for ``key``, or None.
+
+        A chain-head entry answers with an immutable snapshot of its
+        engine's graph — O(n + m) on first read after a mutation, cached
+        by the :class:`~repro.graphs.dynamic.DynamicGraph` until the next
+        one — so callers that only need the instance (the stale-parent
+        fallback, tests) never see engine internals.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -70,23 +105,53 @@ class GraphStore:
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
-            return entry[0]
+            kind, payload, _ = entry
+        if kind == _KIND_ENGINE:
+            return payload.graph
+        return payload
 
     def put(self, key: str, graph: Graph) -> None:
         """Insert (or refresh) ``key``, evicting LRU entries past the bounds."""
-        nbytes = estimate_graph_nbytes(graph)
+        self._put(key, _KIND_GRAPH, graph, estimate_graph_nbytes(graph))
+
+    # -- chain heads -------------------------------------------------------
+
+    def put_engine(self, key: str, engine: Any) -> None:
+        """Store a live chain-head engine under the digest of the version
+        its state currently reflects."""
+        self._put(key, _KIND_ENGINE, engine, estimate_engine_nbytes(engine))
+
+    def pop_engine(self, key: str) -> Any | None:
+        """Remove and return the chain-head engine at ``key``, or None.
+
+        Only engine entries are popped — a plain graph under the same
+        digest stays put (the caller then takes the build-an-engine
+        path).  Popping transfers ownership: exactly one update can hold
+        a given chain head at a time, which is what keeps in-place
+        mutation safe under concurrent requests (the loser sees a stale
+        parent, a retriable condition clients already recover from).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry[0] != _KIND_ENGINE:
+                return None
+            del self._entries[key]
+            self._bytes -= entry[2]
+            return entry[1]
+
+    def _put(self, key: str, kind: str, payload: Any, nbytes: int) -> None:
         with self._lock:
             old = self._entries.pop(key, None)
             if old is not None:
-                self._bytes -= old[1]
-            self._entries[key] = (graph, nbytes)
+                self._bytes -= old[2]
+            self._entries[key] = (kind, payload, nbytes)
             self._bytes += nbytes
             while len(self._entries) > self.max_entries or (
                 self.max_bytes is not None
                 and self._bytes > self.max_bytes
                 and len(self._entries) > 1
             ):
-                _, (_, victim_bytes) = self._entries.popitem(last=False)
+                _, (_, _, victim_bytes) = self._entries.popitem(last=False)
                 self._bytes -= victim_bytes
                 self.evictions += 1
 
@@ -105,8 +170,12 @@ class GraphStore:
 
     def stats(self) -> dict[str, Any]:
         with self._lock:
+            chains = sum(
+                1 for kind, _, _ in self._entries.values() if kind == _KIND_ENGINE
+            )
             return {
                 "entries": len(self._entries),
+                "chains": chains,
                 "bytes": self._bytes,
                 "hits": self.hits,
                 "misses": self.misses,

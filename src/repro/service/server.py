@@ -69,6 +69,7 @@ from repro.service.fingerprint import (
 
 __all__ = [
     "ColoringServer",
+    "NdjsonEndpoint",
     "ParsedGraphPayload",
     "parse_graph_payload",
     "parse_edge_pairs",
@@ -243,34 +244,47 @@ def _error_reply(request_id: Any, kind: str, exc: BaseException) -> dict[str, An
     }
 
 
-class ColoringServer:
-    """The asyncio TCP front end over one :class:`BatchingGateway`.
+class NdjsonEndpoint:
+    """Shared scaffolding for NDJSON-over-TCP endpoints.
 
-    Usage::
+    Owns the asyncio listener, the per-connection read loop, the
+    per-line request tasks (one slow request never blocks its
+    connection), the write lock, the off-loop encoding of oversized
+    replies — and the two shutdown flavours: :meth:`close` (immediate,
+    for tests and in-process harnesses whose traffic has finished) and
+    :meth:`shutdown` (graceful: stop accepting, drain in-flight request
+    tasks up to a bounded deadline, cancel stragglers, then close
+    connections — what ``repro serve`` runs on SIGTERM/SIGINT).
 
-        server = ColoringServer(port=0, workers=2, max_queue=128)
-        await server.start()          # binds; server.port is the real port
-        await server.serve_forever()  # or keep doing other loop work
-
-    ``port=0`` binds an ephemeral port (tests and the in-process load
-    harness use this).  All gateway knobs pass through as kwargs.
+    Subclasses implement :meth:`_reply_for` (bytes in, reply dict out)
+    plus the optional :meth:`_on_start` / :meth:`_on_close` lifecycle
+    hooks.  :class:`ColoringServer` is the solving endpoint; the shard
+    router (:mod:`repro.service.sharding.router`) is a forwarding one.
     """
 
-    def __init__(
-        self,
-        host: str = "127.0.0.1",
-        port: int = 8512,
-        gateway: BatchingGateway | None = None,
-        **gateway_kwargs: Any,
-    ):
+    def __init__(self, host: str = "127.0.0.1", port: int = 8512):
         self.host = host
         self.port = port
-        self.gateway = gateway if gateway is not None else BatchingGateway(**gateway_kwargs)
         self._server: asyncio.base_events.Server | None = None
+        self._conn_writers: set[asyncio.StreamWriter] = set()
+        self._request_tasks: set[asyncio.Task] = set()
+
+    # lifecycle hooks -----------------------------------------------------
+
+    def _on_start(self) -> None:
+        """Called before binding (warm pools here)."""
+
+    async def _on_close(self) -> None:
+        """Called after the listener and connections are gone."""
+
+    async def _reply_for(self, line: bytes) -> dict[str, Any]:
+        raise NotImplementedError
+
+    # lifecycle -----------------------------------------------------------
 
     async def start(self) -> tuple[str, int]:
         """Bind and start accepting; returns the bound ``(host, port)``."""
-        self.gateway.warm()
+        self._on_start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
         )
@@ -285,11 +299,52 @@ class ColoringServer:
             await self._server.serve_forever()
 
     async def close(self) -> None:
+        """Immediate close: stop the listener, then run :meth:`_on_close`.
+
+        In-flight request tasks are left to finish on their own (callers
+        of this flavour have already drained their traffic); use
+        :meth:`shutdown` for the bounded-drain variant.
+        """
         if self._server is not None:
             self._server.close()
-            await self._server.wait_closed()
+            await self._wait_listener_closed()
             self._server = None
-        await self.gateway.close()
+        await self._on_close()
+
+    async def shutdown(self, drain_s: float = 5.0) -> None:
+        """Graceful close: drain in-flight requests, bounded by ``drain_s``.
+
+        New connections are refused immediately; requests already being
+        served get up to ``drain_s`` seconds to complete and write their
+        replies, then are cancelled.  Either way every connection is
+        closed and :meth:`_on_close` runs, so the call is also the
+        idempotent teardown path.
+        """
+        if self._server is not None:
+            self._server.close()
+        pending = {t for t in self._request_tasks if not t.done()}
+        if pending:
+            done, late = await asyncio.wait(pending, timeout=max(0.0, drain_s))
+            for task in late:
+                task.cancel()
+            if late:
+                await asyncio.gather(*late, return_exceptions=True)
+        for writer in list(self._conn_writers):
+            writer.close()
+        if self._server is not None:
+            await self._wait_listener_closed()
+            self._server = None
+        await self._on_close()
+
+    async def _wait_listener_closed(self) -> None:
+        # Python 3.12's wait_closed also waits on connection handlers;
+        # ours exit when their writers close, but a misbehaving peer must
+        # not be able to wedge shutdown — bound the wait.
+        assert self._server is not None
+        try:
+            await asyncio.wait_for(self._server.wait_closed(), timeout=5.0)
+        except asyncio.TimeoutError:  # pragma: no cover - defensive
+            pass
 
     # -- connection handling ----------------------------------------------
 
@@ -298,6 +353,7 @@ class ColoringServer:
     ) -> None:
         write_lock = asyncio.Lock()
         request_tasks: set[asyncio.Task] = set()
+        self._conn_writers.add(writer)
         try:
             while True:
                 line = await reader.readline()
@@ -310,6 +366,8 @@ class ColoringServer:
                 )
                 request_tasks.add(task)
                 task.add_done_callback(request_tasks.discard)
+                self._request_tasks.add(task)
+                task.add_done_callback(self._request_tasks.discard)
         except (
             ConnectionResetError,
             asyncio.IncompleteReadError,
@@ -318,6 +376,7 @@ class ColoringServer:
         ):
             pass
         finally:
+            self._conn_writers.discard(writer)
             if request_tasks:
                 await asyncio.gather(*request_tasks, return_exceptions=True)
             writer.close()
@@ -352,6 +411,36 @@ class ColoringServer:
                 await writer.drain()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+
+
+class ColoringServer(NdjsonEndpoint):
+    """The asyncio TCP front end over one :class:`BatchingGateway`.
+
+    Usage::
+
+        server = ColoringServer(port=0, workers=2, max_queue=128)
+        await server.start()          # binds; server.port is the real port
+        await server.serve_forever()  # or keep doing other loop work
+
+    ``port=0`` binds an ephemeral port (tests and the in-process load
+    harness use this).  All gateway knobs pass through as kwargs.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8512,
+        gateway: BatchingGateway | None = None,
+        **gateway_kwargs: Any,
+    ):
+        super().__init__(host, port)
+        self.gateway = gateway if gateway is not None else BatchingGateway(**gateway_kwargs)
+
+    def _on_start(self) -> None:
+        self.gateway.warm()
+
+    async def _on_close(self) -> None:
+        await self.gateway.close()
 
     async def _reply_for(self, line: bytes) -> dict[str, Any]:
         request_id: Any = None
@@ -416,7 +505,14 @@ class ColoringServer:
 
             {"id": 9, "op": "update", "parent_digest": "…",
              "edges_added": [[u, v], ...], "edges_removed": [[u, v], ...],
+             "backend": "auto" | "dynamic" | "immutable",
              "config": { … SolverConfig fields for the re-solve fallback … }}
+
+        ``backend`` (optional, default ``"auto"``) picks the chain
+        engine's delta-application mode when this update has to create
+        one; long-lived streaming clients send ``"dynamic"`` for the
+        in-place sustained-ops price from the first op.  It never enters
+        the child digest — results are backend-equivalent.
 
         The reply mirrors ``solve`` plus ``parent_digest`` and an
         ``update`` block with the repair statistics; ``fingerprint`` is
@@ -430,6 +526,16 @@ class ColoringServer:
                 "protocol",
                 ServiceProtocolError("update needs a string parent_digest"),
             )
+        backend = request.get("backend", "auto")
+        if backend not in ("auto", "dynamic", "immutable"):
+            return _error_reply(
+                request_id,
+                "protocol",
+                ServiceProtocolError(
+                    f"unknown update backend {backend!r}; expected "
+                    "'auto', 'dynamic' or 'immutable'"
+                ),
+            )
         try:
             added = parse_edge_pairs(request.get("edges_added", []), "edges_added")
             removed = parse_edge_pairs(
@@ -440,7 +546,7 @@ class ColoringServer:
             return _error_reply(request_id, "protocol", exc)
         try:
             reply = await self.gateway.submit_update(
-                parent_digest, added, removed, config
+                parent_digest, added, removed, config, backend=backend
             )
         except ServiceOverloadedError as exc:
             return _error_reply(request_id, "overloaded", exc)

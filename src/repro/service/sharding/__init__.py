@@ -1,0 +1,38 @@
+"""Horizontal sharding for the coloring service.
+
+One box is not "millions of users": this package scales the
+single-process service (:mod:`repro.service`) out to N worker processes
+behind one front door, with *zero* protocol changes for clients.
+
+The pieces — see each module's docstring for the contracts:
+
+* :class:`~repro.service.sharding.hashring.HashRing` — consistent
+  hashing with virtual nodes over the content-addressed request
+  digests; a shard joining/leaving remaps only ≈1/N of the keyspace.
+* :class:`~repro.service.sharding.worker.ShardWorker` — today's
+  ``ColoringServer`` + gateway as a supervised child process (port-file
+  boot handshake, health checks, bounded restart-with-backoff).
+* :class:`~repro.service.sharding.supervisor.ShardSupervisor` — fleet
+  bring-up, the liveness/restart policy loop, graceful stop.
+* :class:`~repro.service.sharding.router.ShardRouter` — the NDJSON
+  front tier: routes ``solve``/``update`` by digest through pipelined
+  per-shard connections (update chains stay on the shard owning their
+  root), aggregates per-shard stats into one cluster snapshot.
+
+Entry point: ``repro serve --shards N`` (see :mod:`repro.cli`);
+benchmark: ``benchmarks/bench_s3_sharded.py``; docs:
+``docs/SERVICE.md`` (sharding section).
+"""
+
+from repro.service.sharding.hashring import DEFAULT_VNODES, HashRing
+from repro.service.sharding.router import ShardRouter
+from repro.service.sharding.supervisor import ShardSupervisor
+from repro.service.sharding.worker import ShardWorker
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "HashRing",
+    "ShardRouter",
+    "ShardSupervisor",
+    "ShardWorker",
+]

@@ -1,0 +1,439 @@
+"""The shard router: one NDJSON front door over N shard workers.
+
+Clients connect to :class:`ShardRouter` exactly as they would to a
+single :class:`repro.service.server.ColoringServer` — same protocol,
+same replies — and the router forwards each request to the shard owning
+its digest arc:
+
+* ``solve`` — the router computes the *exact* server-side fingerprint
+  (``edge_keys_fingerprint + config_fingerprint``, the cache key) from
+  the raw payload and routes by :meth:`HashRing.owner`.  Identical
+  requests therefore always land on the same shard, so per-shard
+  ``ResultCache``/``GraphStore`` partitions hold disjoint arcs of the
+  keyspace and coalescing/caching work exactly as in the single-process
+  service — and replies stay bit-identical to it.
+* ``update`` — routed by the shard that *owns the chain*: child digests
+  are recorded shard-side-sticky in a bounded LRU as replies stream
+  back (a ``u1:`` child hashes to an arbitrary arc, but its chain-head
+  engine lives where its root ``r1:`` parent landed), falling back to
+  ``ring.owner(parent_digest)`` for roots.  Update chains therefore
+  never cross shards; a forgotten mapping surfaces as the protocol's
+  existing retriable ``stale_parent``.
+* ``stats`` — fanned out to every shard and aggregated into one cluster
+  snapshot (summed counters, worst-shard latency percentiles) that
+  keeps the single-server stats shape, plus ``router`` and per-shard
+  sections.
+* ``ping`` — answered locally with the fleet's liveness.
+
+Transport: one pipelined, auto-reconnecting NDJSON connection per shard
+(:class:`_ShardLink` — the :class:`repro.service.client.
+AsyncColoringClient` wire discipline, minus reply parsing: the router
+forwards raw reply dicts and only rewrites the request id).  A dead
+shard answers ``overloaded`` (:class:`repro.errors.
+ShardUnavailableError` — retriable; the supervisor is restarting it),
+never a hang.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from collections import OrderedDict
+from typing import Any, Sequence
+
+from repro.errors import ReproError, ServiceProtocolError, ShardUnavailableError
+from repro.service.fingerprint import (
+    combine_fingerprints,
+    config_fingerprint,
+    edge_keys_fingerprint,
+)
+from repro.service.server import (
+    MAX_LINE_BYTES,
+    NdjsonEndpoint,
+    _error_reply,
+    config_from_payload,
+    parse_graph_payload,
+)
+from repro.service.sharding.hashring import DEFAULT_VNODES, HashRing
+
+__all__ = ["ShardRouter"]
+
+#: Payload edge count above which the fingerprint hash (an O(m)
+#: pure-Python walk) moves off the event loop — same threshold as the
+#: gateway's own submit path.
+_INLINE_FINGERPRINT_MAX_EDGES = 100_000
+
+
+class _ShardLink:
+    """One pipelined NDJSON connection to a shard, lazily (re)connected.
+
+    Many forwards may be in flight at once; replies are matched by a
+    link-local id (the router restores the client's id on the way back).
+    Connection failures — refused while the shard restarts, reset when
+    it dies mid-request — surface as :class:`ShardUnavailableError` on
+    every affected in-flight future.
+    """
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._read_task: asyncio.Task | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._ids = itertools.count(1)
+        self._connect_lock = asyncio.Lock()
+
+    def update_address(self, host: str, port: int) -> None:
+        """Point the link at a restarted shard; the stale connection (if
+        any) is torn down so the next forward reconnects."""
+        self.host = host
+        self.port = port
+        writer = self._writer
+        self._writer = None
+        self._reader = None
+        if writer is not None:
+            writer.close()
+
+    async def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """One round-trip; raises :class:`ShardUnavailableError` when the
+        shard cannot be reached or dies before replying."""
+        try:
+            await self._ensure_connected()
+        except OSError as exc:
+            raise ShardUnavailableError(
+                f"shard at {self.host}:{self.port} is unavailable "
+                f"({type(exc).__name__}); retry with backoff"
+            ) from exc
+        assert self._writer is not None
+        link_id = next(self._ids)
+        payload["id"] = link_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[link_id] = future
+        try:
+            self._writer.write(
+                (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+            )
+            await self._writer.drain()
+        except (OSError, ConnectionResetError) as exc:
+            self._pending.pop(link_id, None)
+            raise ShardUnavailableError(
+                f"shard at {self.host}:{self.port} dropped the connection; "
+                "retry with backoff"
+            ) from exc
+        return await future
+
+    async def _ensure_connected(self) -> None:
+        async with self._connect_lock:
+            if self._writer is not None and not self._writer.is_closing():
+                return
+            reader, writer = await asyncio.open_connection(
+                self.host, self.port, limit=MAX_LINE_BYTES
+            )
+            self._reader = reader
+            self._writer = writer
+            self._read_task = asyncio.get_running_loop().create_task(
+                self._read_loop(reader, writer)
+            )
+
+    async def _read_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                reply = json.loads(line)
+                future = self._pending.pop(reply.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(reply)
+        except (ConnectionResetError, asyncio.CancelledError, ValueError):
+            pass
+        finally:
+            # Fail everything this connection still owed; the next
+            # forward reconnects (the restarted shard re-warms its arc).
+            if self._writer is writer:
+                self._writer = None
+                self._reader = None
+            for future in list(self._pending.values()):
+                if not future.done():
+                    future.set_exception(
+                        ShardUnavailableError(
+                            f"shard at {self.host}:{self.port} closed the "
+                            "connection mid-request; retry with backoff"
+                        )
+                    )
+            self._pending.clear()
+            writer.close()
+
+    async def close(self) -> None:
+        writer = self._writer
+        self._writer = None
+        self._reader = None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+        if self._read_task is not None:
+            self._read_task.cancel()
+            try:
+                await self._read_task
+            except asyncio.CancelledError:
+                pass
+            self._read_task = None
+
+
+class ShardRouter(NdjsonEndpoint):
+    """Consistent-hash NDJSON front tier over shard workers.
+
+    Parameters
+    ----------
+    shard_addresses:
+        One ``(host, port)`` per shard; index i becomes ring member
+        ``"shard-i"`` (stable across restarts — the supervisor calls
+        :meth:`update_shard` with the same index).
+    host / port:
+        The front door clients connect to (``port=0`` = ephemeral).
+    vnodes:
+        Ring points per shard.
+    update_map_entries:
+        Bound on the child-digest → shard LRU that keeps update chains
+        local; an evicted mapping degrades to the retriable
+        ``stale_parent`` path, never to a wrong answer.
+    """
+
+    def __init__(
+        self,
+        shard_addresses: Sequence[tuple[str, int]],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        vnodes: int = DEFAULT_VNODES,
+        update_map_entries: int = 262_144,
+    ):
+        if not shard_addresses:
+            raise ValueError("ShardRouter needs at least one shard address")
+        super().__init__(host, port)
+        self._links = [_ShardLink(h, p) for h, p in shard_addresses]
+        self._shard_ids = [f"shard-{i}" for i in range(len(self._links))]
+        self.ring = HashRing(self._shard_ids, vnodes=vnodes)
+        self._index_of = {sid: i for i, sid in enumerate(self._shard_ids)}
+        self._update_owner: OrderedDict[str, int] = OrderedDict()
+        self.update_map_entries = update_map_entries
+        self.routed: dict[str, int] = {"solve": 0, "update": 0, "stats": 0}
+        self.per_shard: list[int] = [0] * len(self._links)
+        self.unavailable = 0
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._links)
+
+    def update_shard(self, index: int, address: tuple[str, int]) -> None:
+        """Repoint shard ``index`` after a restart (same ring arc, new
+        port); called by the supervisor."""
+        self._links[index].update_address(*address)
+
+    async def _on_close(self) -> None:
+        for link in self._links:
+            await link.close()
+
+    # -- routing -----------------------------------------------------------
+
+    def _shard_for_digest(self, digest: str) -> int:
+        return self._index_of[self.ring.owner(digest)]
+
+    def _remember_chain(self, child_digest: str, shard: int) -> None:
+        owners = self._update_owner
+        owners[child_digest] = shard
+        owners.move_to_end(child_digest)
+        while len(owners) > self.update_map_entries:
+            owners.popitem(last=False)
+
+    async def _reply_for(self, line: bytes) -> dict[str, Any]:
+        request_id: Any = None
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ServiceProtocolError("request must be a JSON object")
+            request_id = request.get("id")
+            op = request.get("op", "solve")
+            if op == "ping":
+                return {
+                    "id": request_id, "ok": True, "pong": True,
+                    "shards": self.num_shards,
+                }
+            if op == "stats":
+                self.routed["stats"] += 1
+                return await self._aggregate_stats(request_id)
+            if op == "update":
+                return await self._route_update(request_id, request)
+            if op != "solve":
+                raise ServiceProtocolError(f"unknown op {op!r}")
+            return await self._route_solve(request_id, request)
+        except ServiceProtocolError as exc:
+            return _error_reply(request_id, "protocol", exc)
+        except (json.JSONDecodeError, ReproError) as exc:
+            return _error_reply(request_id, "protocol", exc)
+
+    async def _route_solve(
+        self, request_id: Any, request: dict[str, Any]
+    ) -> dict[str, Any]:
+        # Parse just enough to fingerprint — the same digest the shard's
+        # gateway will compute, so the ring partitions the cache keyspace
+        # exactly (and malformed payloads bounce here, one hop early).
+        parsed = parse_graph_payload(request.get("graph"))
+        config = config_from_payload(request.get("config"))
+
+        def fingerprint() -> str:
+            return combine_fingerprints(
+                edge_keys_fingerprint(parsed.n, parsed.edge_keys),
+                config_fingerprint(config.without_observer()),
+            )
+
+        if len(parsed.edge_keys) > _INLINE_FINGERPRINT_MAX_EDGES:
+            digest = await asyncio.get_running_loop().run_in_executor(
+                None, fingerprint
+            )
+        else:
+            digest = fingerprint()
+        shard = self._shard_for_digest(digest)
+        self.routed["solve"] += 1
+        return await self._forward(shard, request, request_id)
+
+    async def _route_update(
+        self, request_id: Any, request: dict[str, Any]
+    ) -> dict[str, Any]:
+        parent_digest = request.get("parent_digest")
+        if not isinstance(parent_digest, str) or not parent_digest:
+            raise ServiceProtocolError("update needs a string parent_digest")
+        # Chain locality: the shard that served the parent owns the whole
+        # chain (its GraphStore holds the live chain-head engine).  Root
+        # parents (r1: solve digests) route by the ring like their solve
+        # did; u1: children by the sticky map recorded from replies.
+        shard = self._update_owner.get(parent_digest)
+        if shard is None:
+            shard = self._shard_for_digest(parent_digest)
+        self.routed["update"] += 1
+        reply = await self._forward(shard, request, request_id)
+        if reply.get("ok") and isinstance(reply.get("fingerprint"), str):
+            self._remember_chain(reply["fingerprint"], shard)
+            self._remember_chain(parent_digest, shard)
+        return reply
+
+    async def _forward(
+        self, shard: int, request: dict[str, Any], request_id: Any
+    ) -> dict[str, Any]:
+        self.per_shard[shard] += 1
+        try:
+            reply = await self._links[shard].request(dict(request))
+        except ShardUnavailableError as exc:
+            self.unavailable += 1
+            return _error_reply(request_id, "overloaded", exc)
+        reply["id"] = request_id
+        return reply
+
+    # -- cluster stats -----------------------------------------------------
+
+    async def _aggregate_stats(self, request_id: Any) -> dict[str, Any]:
+        async def one(shard: int) -> dict[str, Any]:
+            try:
+                reply = await self._links[shard].request({"op": "stats"})
+            except ShardUnavailableError as exc:
+                return {"shard": shard, "alive": False, "error": str(exc)}
+            if not reply.get("ok"):
+                return {
+                    "shard": shard, "alive": False,
+                    "error": str(reply.get("error")),
+                }
+            return {"shard": shard, "alive": True, **reply["stats"]}
+
+        shards = list(
+            await asyncio.gather(*(one(i) for i in range(self.num_shards)))
+        )
+        stats = _merge_shard_stats(shards)
+        stats["router"] = {
+            "shards": self.num_shards,
+            "alive": sum(1 for s in shards if s.get("alive")),
+            "vnodes": self.ring.vnodes,
+            "routed": dict(self.routed),
+            "per_shard": list(self.per_shard),
+            "unavailable": self.unavailable,
+            "update_map_entries": len(self._update_owner),
+        }
+        stats["shards"] = shards
+        return {"id": request_id, "ok": True, "stats": stats}
+
+
+def _merge_shard_stats(shards: list[dict[str, Any]]) -> dict[str, Any]:
+    """Fold per-shard gateway snapshots into one cluster view that keeps
+    the single-server stats shape (``cache``/``graph_store``/``metrics``/
+    ``coalesced`` at the top level), so tooling written against one
+    server — the bench harness's hit-rate deltas, the smoke checks —
+    reads the router's stats unchanged.
+
+    Counters sum.  Latency percentiles take the worst shard (a cluster-
+    wide percentile cannot be recovered from per-shard quantiles, and
+    for an SLO check the pessimistic merge is the honest one);
+    ``mean_batch_size`` is batch-count weighted.
+    """
+    alive = [s for s in shards if s.get("alive")]
+    cache = {}
+    if alive:
+        cache = {
+            k: sum(s["cache"].get(k, 0) for s in alive)
+            for k in ("hits", "misses", "puts", "evictions_lru",
+                      "evictions_ttl", "entries", "bytes")
+        }
+        probes = cache["hits"] + cache["misses"]
+        cache["hit_rate"] = round(cache["hits"] / probes, 4) if probes else 0.0
+    graph_store = {
+        k: sum(s["graph_store"].get(k, 0) for s in alive)
+        for k in ("entries", "chains", "bytes", "hits", "misses", "evictions")
+    } if alive else {}
+    metrics: dict[str, Any] = {}
+    if alive:
+        snaps = [s["metrics"] for s in alive]
+        for key in ("completed", "cached", "rejected", "failed", "coalesced"):
+            metrics[key] = sum(snap.get(key, 0) for snap in snaps)
+        metrics["qps"] = round(sum(snap.get("qps", 0.0) for snap in snaps), 3)
+        served = metrics["completed"]
+        metrics["cache_hit_rate"] = (
+            round(metrics["cached"] / served, 4) if served else 0.0
+        )
+        metrics["queue_depth"] = sum(snap.get("queue_depth", 0) for snap in snaps)
+        metrics["queue_depth_peak"] = max(
+            (snap.get("queue_depth_peak", 0) for snap in snaps), default=0
+        )
+        metrics["batches"] = sum(snap.get("batches", 0) for snap in snaps)
+        weight = sum(snap.get("batches", 0) for snap in snaps)
+        metrics["mean_batch_size"] = round(
+            sum(
+                snap.get("mean_batch_size", 0.0) * snap.get("batches", 0)
+                for snap in snaps
+            ) / weight,
+            3,
+        ) if weight else 0.0
+        for window in ("latency", "latency_cached", "latency_solved",
+                       "latency_coalesced"):
+            windows = [snap[window] for snap in snaps if window in snap]
+            if windows:
+                merged = {
+                    "count": sum(w.get("count", 0) for w in windows),
+                    "window": sum(w.get("window", 0) for w in windows),
+                }
+                for quantile in ("p50_ms", "p95_ms", "p99_ms", "max_ms"):
+                    merged[quantile] = max(
+                        (w.get(quantile, 0.0) for w in windows), default=0.0
+                    )
+                metrics[window] = merged
+    return {
+        "cache": cache,
+        "graph_store": graph_store,
+        "metrics": metrics,
+        "coalesced": sum(s.get("coalesced", 0) for s in alive),
+        "outstanding": sum(s.get("outstanding", 0) for s in alive),
+    }

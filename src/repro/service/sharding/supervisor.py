@@ -1,0 +1,200 @@
+"""The shard supervisor: bring up the fleet, keep it up, take it down.
+
+:class:`ShardSupervisor` owns N :class:`~repro.service.sharding.worker.
+ShardWorker` children and the policy loop around them:
+
+* :meth:`start` boots every worker (port-file handshake each) and
+  returns their addresses — what a :class:`~repro.service.sharding.
+  router.ShardRouter` is constructed from;
+* :meth:`monitor` is the supervision loop: it polls process liveness
+  and, when a worker dies, restarts it *off the event loop* (spawn +
+  boot handshake run in an executor, after the worker's backoff delay)
+  so routing to the surviving shards never stalls; the restarted
+  address is pushed into the router, whose link reconnects on the next
+  forward.  A worker that exhausts its restart budget is left down —
+  its arc answers ``overloaded`` until an operator intervenes — and
+  the rest of the fleet keeps serving;
+* :meth:`stop` SIGTERMs every child (the serve loop drains gracefully)
+  with a bounded deadline before SIGKILL.
+
+During a restart the dead shard's arc simply sheds load
+(:class:`repro.errors.ShardUnavailableError` → retriable ``overloaded``
+replies); content-addressed keys mean the replacement re-warms its
+cache from traffic with no handoff protocol.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ShardFailedError
+from repro.service.sharding.worker import ShardWorker
+
+__all__ = ["ShardSupervisor"]
+
+
+class ShardSupervisor:
+    """Spawn, watch, and stop a fleet of shard workers.
+
+    Parameters
+    ----------
+    shards:
+        Either a count (workers are created as ``shard-0..N-1``) or a
+        prebuilt worker list (tests inject fakes this way).
+    host / serve_args / worker_kwargs:
+        Forwarded to every created :class:`ShardWorker`.
+    poll_interval_s:
+        The monitor loop's liveness-poll period.
+    """
+
+    def __init__(
+        self,
+        shards: int | Sequence[ShardWorker],
+        *,
+        host: str = "127.0.0.1",
+        serve_args: Mapping[str, Any] | None = None,
+        poll_interval_s: float = 0.25,
+        **worker_kwargs: Any,
+    ):
+        if isinstance(shards, int):
+            if shards < 1:
+                raise ValueError(f"need at least one shard, got {shards}")
+            self.workers = [
+                ShardWorker(
+                    f"shard-{i}", host=host, serve_args=serve_args,
+                    **worker_kwargs,
+                )
+                for i in range(shards)
+            ]
+        else:
+            self.workers = list(shards)
+            if not self.workers:
+                raise ValueError("need at least one shard worker")
+        self.poll_interval_s = poll_interval_s
+        self._restarting: set[int] = set()
+        self._restart_tasks: set[asyncio.Task] = set()
+
+    # -- fleet lifecycle ---------------------------------------------------
+
+    def start(self) -> list[tuple[str, int]]:
+        """Boot every worker; returns their ``(host, port)`` addresses.
+
+        A worker that fails to boot takes the whole bring-up down (the
+        booted part of the fleet is stopped): a fleet that starts
+        degraded would silently serve a smaller keyspace.
+        """
+        addresses: list[tuple[str, int]] = []
+        try:
+            for worker in self.workers:
+                addresses.append(worker.start())
+        except ShardFailedError:
+            self.stop(drain_s=1.0)
+            raise
+        return addresses
+
+    def addresses(self) -> list[tuple[str, int]]:
+        return [(w.host, w.port or 0) for w in self.workers]
+
+    def stop(self, drain_s: float = 5.0) -> None:
+        """Stop the fleet (SIGTERM → graceful drain → SIGKILL)."""
+        for worker in self.workers:
+            worker.stop(deadline_s=drain_s)
+        for worker in self.workers:
+            worker.close()
+
+    # -- supervision -------------------------------------------------------
+
+    async def monitor(
+        self,
+        router: "Any | None" = None,
+        *,
+        stop: asyncio.Event | None = None,
+    ) -> None:
+        """The supervision loop; runs until ``stop`` is set (or forever).
+
+        ``router`` (a :class:`~repro.service.sharding.router.ShardRouter`
+        or anything with ``update_shard(index, (host, port))``) is told
+        each restarted worker's new address.
+        """
+        try:
+            while stop is None or not stop.is_set():
+                for index, worker in enumerate(self.workers):
+                    if (
+                        not worker.alive()
+                        and not worker.failed
+                        and index not in self._restarting
+                    ):
+                        self._restarting.add(index)
+                        task = asyncio.get_running_loop().create_task(
+                            self._restart_worker(index, router)
+                        )
+                        self._restart_tasks.add(task)
+                        task.add_done_callback(self._restart_tasks.discard)
+                    elif worker.alive():
+                        worker.note_healthy()
+                if stop is None:
+                    await asyncio.sleep(self.poll_interval_s)
+                else:
+                    try:
+                        await asyncio.wait_for(
+                            stop.wait(), timeout=self.poll_interval_s
+                        )
+                    except asyncio.TimeoutError:
+                        pass
+        finally:
+            if self._restart_tasks:
+                await asyncio.gather(
+                    *self._restart_tasks, return_exceptions=True
+                )
+
+    async def _restart_worker(self, index: int, router: "Any | None") -> None:
+        worker = self.workers[index]
+        delay = worker.next_backoff_s()
+        print(
+            f"# shard supervisor: {worker.shard_id} died "
+            f"(exit={worker.process.returncode if worker.process else '?'}); "
+            f"restarting in {delay:.2f}s",
+            file=sys.stderr,
+        )
+        try:
+            await asyncio.sleep(delay)
+            # The spawn + port handshake block for up to boot_timeout_s —
+            # keep them off the loop so the healthy shards' routing (and
+            # the rest of the monitor) never stalls behind a restart.
+            address = await asyncio.get_running_loop().run_in_executor(
+                None, worker.restart
+            )
+        except ShardFailedError as exc:
+            print(f"# shard supervisor: {exc}; leaving shard down", file=sys.stderr)
+            return
+        finally:
+            self._restarting.discard(index)
+        if router is not None:
+            router.update_shard(index, address)
+        print(
+            f"# shard supervisor: {worker.shard_id} back on "
+            f"{address[0]}:{address[1]} (restart #{worker.restarts})",
+            file=sys.stderr,
+        )
+
+    def stats(self) -> dict[str, Any]:
+        """Fleet view: per-worker liveness and restart counts."""
+        return {
+            "shards": len(self.workers),
+            "alive": sum(1 for w in self.workers if w.alive()),
+            "failed": sum(1 for w in self.workers if w.failed),
+            "restarts": sum(w.restarts for w in self.workers),
+            "workers": [
+                {
+                    "shard_id": w.shard_id,
+                    "host": w.host,
+                    "port": w.port,
+                    "alive": w.alive(),
+                    "failed": w.failed,
+                    "restarts": w.restarts,
+                }
+                for w in self.workers
+            ],
+        }

@@ -482,6 +482,216 @@ class TestUpdateOverTCP:
         asyncio.run(drive())
 
 
+class TestChainEngineEquivalence:
+    def test_gateway_chain_matches_solve_incremental(self):
+        """The gateway's long-lived chain-head engine must reproduce the
+        old re-materialize-per-update path bit for bit: same colors,
+        same seed propagation, same content digests down the chain."""
+        from repro.api import solve_incremental
+
+        base, matching = updatable_instance()
+        config = SolverConfig(seed=1)
+
+        async def drive():
+            async with BatchingGateway() as gateway:
+                solved = await gateway.submit(base, config)
+                upd1 = await gateway.submit_update(
+                    solved.fingerprint, edges_added=[matching[0]]
+                )
+                upd2 = await gateway.submit_update(
+                    upd1.fingerprint,
+                    edges_added=[matching[1]],
+                    edges_removed=[matching[0]],
+                )
+                return solved, upd1, upd2
+
+        def canonical(result):
+            # strip the nested repair-timing noise (the top-level
+            # wall_time_s is already excluded by content_digest; the
+            # per-update one inside stats is equally non-content)
+            payload = result.as_dict()
+            payload.pop("wall_time_s", None)
+            for section in ("phase_stats", "stats"):
+                for stats in payload.get(section, {}).values():
+                    if isinstance(stats, dict):
+                        stats.pop("wall_time_s", None)
+            return payload
+
+        solved, upd1, upd2 = asyncio.run(drive())
+        # replay the same chain through the pre-engine facade
+        old1 = solve_incremental(base, solved.result, edges_added=[matching[0]])
+        assert list(upd1.result.colors) == list(old1.result.colors)
+        assert canonical(upd1.result) == canonical(old1.result)
+        assert upd1.result.seed == old1.result.seed == solved.result.seed
+        old2 = solve_incremental(
+            old1.graph, old1.result,
+            edges_added=[matching[1]], edges_removed=[matching[0]],
+        )
+        assert list(upd2.result.colors) == list(old2.result.colors)
+        assert canonical(upd2.result) == canonical(old2.result)
+
+    def test_chain_head_engine_lives_in_graph_store(self):
+        """Only the chain head stays updatable (one engine per chain);
+        every digest in the chain still serves snapshot reads."""
+        base, matching = updatable_instance()
+
+        async def drive():
+            async with BatchingGateway() as gateway:
+                solved = await gateway.submit(base, SolverConfig(seed=1))
+                assert gateway.graph_store.stats()["chains"] == 0
+                upd1 = await gateway.submit_update(
+                    solved.fingerprint, edges_added=[matching[0]]
+                )
+                assert gateway.graph_store.stats()["chains"] == 1
+                # a snapshot read at the head does not lose the engine
+                assert gateway.graph_store.get(upd1.fingerprint) is not None
+                assert gateway.graph_store.stats()["chains"] == 1
+                upd2 = await gateway.submit_update(
+                    upd1.fingerprint, edges_added=[matching[1]]
+                )
+                # the engine moved to the new head — still one chain
+                assert gateway.graph_store.stats()["chains"] == 1
+                # the root's solve-time graph and the live head serve
+                # snapshot reads; the superseded intermediate version
+                # moved with the engine, so branching from it degrades
+                # to the retriable stale-parent path (the client's
+                # fallback_graph recovery), never to a wrong answer
+                assert gateway.graph_store.get(solved.fingerprint) is not None
+                assert gateway.graph_store.get(upd2.fingerprint) is not None
+                assert gateway.graph_store.get(upd1.fingerprint) is None
+                with pytest.raises(StaleParentError):
+                    await gateway.submit_update(
+                        upd1.fingerprint, edges_added=[matching[2]]
+                    )
+                # ...while replaying the head's exact delta still hits
+                # the result cache bit-identically
+                replay = await gateway.submit_update(
+                    upd1.fingerprint, edges_added=[matching[1]]
+                )
+                assert replay.cached
+                assert (
+                    replay.result.content_digest()
+                    == upd2.result.content_digest()
+                )
+
+        asyncio.run(drive())
+
+
+class TestDynamicBackendWire:
+    def test_update_backend_dynamic_over_tcp(self):
+        base, matching = updatable_instance()
+
+        async def drive():
+            server = ColoringServer(port=0, workers=1)
+            await server.start()
+            try:
+                port = server.port
+
+                def client_flow():
+                    with ColoringClient(port=port, timeout=60.0) as client:
+                        solved = client.solve(base, seed=1)
+                        upd = client.update(
+                            solved.fingerprint,
+                            edges_added=[matching[0]],
+                            backend="dynamic",
+                        )
+                        child = base.apply_updates(added=[matching[0]])
+                        validate_coloring(
+                            child, list(upd.result.colors),
+                            max_colors=upd.result.palette,
+                        )
+                        return upd
+
+                upd = await asyncio.get_running_loop().run_in_executor(
+                    None, client_flow
+                )
+                # the chain head is a live engine on the dynamic backend
+                engine = server.gateway.graph_store.pop_engine(upd.fingerprint)
+                assert engine is not None
+                assert engine._is_dynamic
+            finally:
+                await server.close()
+
+        asyncio.run(drive())
+
+    def test_backend_choice_does_not_fragment_the_cache(self):
+        """backend is an execution hint, not a result-affecting field:
+        the same delta under either backend shares one child digest."""
+        base, matching = updatable_instance()
+
+        async def drive():
+            async with BatchingGateway() as gateway:
+                solved = await gateway.submit(base, SolverConfig(seed=1))
+                upd = await gateway.submit_update(
+                    solved.fingerprint, edges_added=[matching[0]],
+                    backend="dynamic",
+                )
+                replay = await gateway.submit_update(
+                    solved.fingerprint, edges_added=[matching[0]],
+                    backend="immutable",
+                )
+                assert replay.cached
+                assert replay.fingerprint == upd.fingerprint
+
+        asyncio.run(drive())
+
+    def test_invalid_backend_is_protocol_error(self):
+        async def drive():
+            server = ColoringServer(port=0, workers=1)
+            await server.start()
+            try:
+                port = server.port
+
+                def client_flow():
+                    import json
+                    import socket
+
+                    with socket.create_connection(("127.0.0.1", port), 10) as sock:
+                        reader = sock.makefile("r", encoding="utf-8")
+                        sock.sendall((json.dumps({
+                            "id": 1, "op": "update",
+                            "parent_digest": "x" * 64,
+                            "edges_added": [[0, 1]],
+                            "backend": "nope",
+                        }) + "\n").encode("utf-8"))
+                        return json.loads(reader.readline())
+
+                reply = await asyncio.get_running_loop().run_in_executor(
+                    None, client_flow
+                )
+                assert not reply["ok"]
+                assert reply["error"]["type"] == "protocol"
+                assert "backend" in reply["error"]["message"]
+            finally:
+                await server.close()
+
+        asyncio.run(drive())
+
+    def test_async_client_passes_backend(self):
+        base, matching = updatable_instance()
+
+        async def drive():
+            server = ColoringServer(port=0, workers=1)
+            await server.start()
+            try:
+                from repro.service.client import AsyncColoringClient
+
+                async with AsyncColoringClient(port=server.port) as client:
+                    solved = await client.solve(base, seed=1)
+                    upd = await client.update(
+                        solved.fingerprint,
+                        edges_added=[matching[0]],
+                        backend="dynamic",
+                    )
+                    assert upd.parent_digest == solved.fingerprint
+                engine = server.gateway.graph_store.pop_engine(upd.fingerprint)
+                assert engine is not None and engine._is_dynamic
+            finally:
+                await server.close()
+
+        asyncio.run(drive())
+
+
 def test_solve_results_seed_the_graph_store():
     base, _ = updatable_instance()
 
