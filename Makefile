@@ -4,7 +4,7 @@ PY := PYTHONPATH=src python
 
 .PHONY: test check lint bench-smoke bench-regression bench-sweep bench-million \
 	serve-smoke bench-service incremental-smoke bench-incremental \
-	shard-smoke bench-sharded
+	shard-smoke bench-sharded obs-smoke bench-obs
 
 test:
 	$(PY) -m pytest -x -q
@@ -14,11 +14,15 @@ test:
 # TCP server, fire 50 mixed requests through ColoringClient, assert
 # validity + cache hits + load shedding), the incremental smoke
 # (single-edge update vs fresh solve at n=32768: >= 10x, digest-chained,
-# validity-asserted), and the shard smoke (2-shard cluster bring-up,
-# routed solve/update/stats, a worker killed and restarted mid-load), so
-# the solver facade, the bench harness, the serving layer, the update
-# path and the scale-out tier cannot rot independently.
-check: test bench-regression serve-smoke incremental-smoke shard-smoke
+# validity-asserted), the shard smoke (2-shard cluster bring-up,
+# routed solve/update/stats, a worker killed and restarted mid-load),
+# and the observability smoke (traced 2-shard fleet: every request must
+# reassemble into one connected router-to-solver-phase span tree from
+# the per-process JSONL exports, and the sampling-off tracing tax must
+# stay under 2%), so the solver facade, the bench harness, the serving
+# layer, the update path, the scale-out tier and the instrumentation
+# cannot rot independently.
+check: test bench-regression serve-smoke incremental-smoke shard-smoke obs-smoke
 
 # Style gate (CI installs a pinned ruff; see .github/workflows/ci.yml).
 lint:
@@ -56,6 +60,21 @@ shard-smoke:
 # Full sharded load test: offered-vs-achieved QPS at 1/2/4 shards.
 bench-sharded:
 	$(PY) benchmarks/bench_s3_sharded.py
+
+# Observability smoke: a traced 2-shard fleet must produce complete
+# cross-tier traces (router.request -> router.forward -> server.request
+# -> gateway.* -> solver.*) reassembled from per-process JSONL exports,
+# the metrics verb must serve the merged fleet view, and the
+# sampling-off overhead on the cached hot path must stay under
+# REPRO_OBS_MAX_OVERHEAD_PCT (default 2%).  Spans land in
+# benchmarks/results/obs_traces/ (the CI trace artifact); inspect them
+# with `python -m repro trace benchmarks/results/obs_traces`.
+obs-smoke:
+	$(PY) benchmarks/bench_s4_obs.py --smoke
+
+# Full observability run (more solves, longer chains, bigger A/B batches).
+bench-obs:
+	$(PY) benchmarks/bench_s4_obs.py
 
 # Full serving-layer load test (open-loop traffic; JSON in benchmarks/results/).
 bench-service:

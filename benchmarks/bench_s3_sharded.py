@@ -61,7 +61,10 @@ class ShardedCluster:
     generator stays in the main thread, exactly as in ``bench_s1``.
     """
 
-    def __init__(self, shards: int, *, serve_args=None, poll_interval_s=0.1):
+    def __init__(
+        self, shards: int, *, serve_args=None, poll_interval_s=0.1,
+        router_kwargs=None,
+    ):
         self.supervisor = ShardSupervisor(
             shards,
             serve_args=serve_args,
@@ -69,6 +72,7 @@ class ShardedCluster:
             boot_timeout_s=60.0,
             backoff_base_s=0.1,
         )
+        self._router_kwargs = dict(router_kwargs or {})
         self.port: int | None = None
         self._started = threading.Event()
         self._boot_error: BaseException | None = None
@@ -86,7 +90,7 @@ class ShardedCluster:
             addresses = await self._loop.run_in_executor(
                 None, self.supervisor.start
             )
-            router = ShardRouter(addresses, port=0)
+            router = ShardRouter(addresses, port=0, **self._router_kwargs)
             await router.start()
         except BaseException as exc:  # surface boot failures to __enter__
             self._boot_error = exc

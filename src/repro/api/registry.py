@@ -111,13 +111,26 @@ def algorithm_specs() -> list[AlgorithmSpec]:
 
 
 def _attribute_stats(
-    stats: dict[str, Any], key_map: dict[str, tuple[str, ...]]
+    stats: dict[str, Any],
+    key_map: dict[str, tuple[str, ...]],
+    phase_wall: dict[str, float] | None = None,
 ) -> dict[str, dict[str, Any]]:
-    """Split a run's flat stats dict into per-phase dicts."""
-    return {
+    """Split a run's flat stats dict into per-phase dicts.
+
+    ``phase_wall`` (the ledger's wall-clock breakdown, keyed by the same
+    phase names) lands under the reserved ``wall_s`` key; nested ledger
+    phases absent from ``key_map`` get an entry of their own, so the
+    timing decomposition is complete even where no stats were attributed.
+    ``wall_s`` is reserved: it is stripped from content digests, so two
+    runs of equal coloring content stay digest-equal across machines.
+    """
+    attributed = {
         phase: {k: stats[k] for k in keys if k in stats}
         for phase, keys in key_map.items()
     }
+    for phase, wall in (phase_wall or {}).items():
+        attributed.setdefault(phase, {})["wall_s"] = round(wall, 6)
+    return attributed
 
 
 def _effective_params(config: SolverConfig):
@@ -207,7 +220,9 @@ def _run_randomized(graph: Graph, config: SolverConfig) -> EngineRun:
         palette=result.delta,
         rounds=result.rounds,
         phase_rounds=result.phase_rounds,
-        phase_stats=_attribute_stats(result.stats, RANDOMIZED_PHASE_KEYS),
+        phase_stats=_attribute_stats(
+            result.stats, RANDOMIZED_PHASE_KEYS, result.phase_wall
+        ),
         stats=result.stats,
         seed_used=seed_used,
     )
@@ -227,7 +242,9 @@ def _run_randomized_small(graph: Graph, config: SolverConfig) -> EngineRun:
         palette=result.delta,
         rounds=result.rounds,
         phase_rounds=result.phase_rounds,
-        phase_stats=_attribute_stats(result.stats, RANDOMIZED_PHASE_KEYS),
+        phase_stats=_attribute_stats(
+            result.stats, RANDOMIZED_PHASE_KEYS, result.phase_wall
+        ),
         stats=result.stats,
         seed_used=config.params.seed if config.params else config.seed,
     )
@@ -247,7 +264,9 @@ def _run_randomized_large(graph: Graph, config: SolverConfig) -> EngineRun:
         palette=result.delta,
         rounds=result.rounds,
         phase_rounds=result.phase_rounds,
-        phase_stats=_attribute_stats(result.stats, RANDOMIZED_PHASE_KEYS),
+        phase_stats=_attribute_stats(
+            result.stats, RANDOMIZED_PHASE_KEYS, result.phase_wall
+        ),
         stats=result.stats,
         seed_used=config.params.seed if config.params else config.seed,
     )
@@ -266,7 +285,9 @@ def _run_deterministic(graph: Graph, config: SolverConfig) -> EngineRun:
         palette=result.delta,
         rounds=result.rounds,
         phase_rounds=result.phase_rounds,
-        phase_stats=_attribute_stats(result.stats, DETERMINISTIC_PHASE_KEYS),
+        phase_stats=_attribute_stats(
+            result.stats, DETERMINISTIC_PHASE_KEYS, result.phase_wall
+        ),
         stats=result.stats,
     )
 
@@ -308,7 +329,9 @@ def _run_ps(graph: Graph, config: SolverConfig) -> EngineRun:
         palette=result.delta,
         rounds=result.rounds,
         phase_rounds=result.phase_rounds,
-        phase_stats=_attribute_stats(result.stats, PS_PHASE_KEYS),
+        phase_stats=_attribute_stats(
+            result.stats, PS_PHASE_KEYS, result.phase_wall
+        ),
         stats=result.stats,
     )
 

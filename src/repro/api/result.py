@@ -20,6 +20,25 @@ from typing import Any, Mapping
 
 __all__ = ["ColoringResult"]
 
+#: Timing keys reserved inside ``phase_stats``/``stats`` values.  They are
+#: measurement noise, not solve content, so :meth:`ColoringResult.
+#: content_digest` strips them — a pooled worker's solve and an in-process
+#: solve of the same request must stay digest-equal.
+_TIMING_KEYS = frozenset({"wall_s", "wall_time_s", "rung_wall_s"})
+
+
+def _strip_timing(value: Any) -> Any:
+    """Recursively drop reserved timing keys from a jsonable structure."""
+    if isinstance(value, dict):
+        return {
+            k: _strip_timing(v)
+            for k, v in value.items()
+            if k not in _TIMING_KEYS
+        }
+    if isinstance(value, list):
+        return [_strip_timing(v) for v in value]
+    return value
+
 
 def _jsonable(value: Any) -> Any:
     """Coerce a stats value into a JSON-serialisable structure."""
@@ -89,15 +108,16 @@ class ColoringResult:
 
     def content_digest(self) -> str:
         """SHA-256 over the canonical JSON of :meth:`as_dict` minus
-        ``wall_time_s``.
+        every timing field (top-level ``wall_time_s`` plus the reserved
+        ``wall_s``/``wall_time_s``/``rung_wall_s`` keys nested inside
+        ``phase_stats``/``stats``).
 
         Two results are *the same solve outcome* iff their digests match;
         wall time is excluded because it is measurement noise, not
         content.  The result cache uses this to assert that a cached
         result is bit-identical to a fresh solve of the same request.
         """
-        payload = self.as_dict()
-        payload.pop("wall_time_s", None)
+        payload = _strip_timing(self.as_dict())
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

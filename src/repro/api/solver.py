@@ -64,6 +64,14 @@ def solve(
     wall_time = time.perf_counter() - started
     if config.validate:
         validate_coloring(graph, run.colors, max_colors=run.palette or None)
+    phase_stats = {k: dict(v) for k, v in run.phase_stats.items()}
+    if len(run.phase_rounds) == 1:
+        # Single-phase engines (slocal, greedy, components) have no
+        # ledger breakdown; the whole engine run is that phase's wall.
+        (only_phase,) = run.phase_rounds
+        phase_stats.setdefault(only_phase, {}).setdefault(
+            "wall_s", round(wall_time, 6)
+        )
     result = ColoringResult(
         algorithm=run.algorithm,
         n=graph.n,
@@ -72,7 +80,7 @@ def solve(
         colors=tuple(run.colors),
         rounds=run.rounds,
         phase_rounds=dict(run.phase_rounds),
-        phase_stats={k: dict(v) for k, v in run.phase_stats.items()},
+        phase_stats=phase_stats,
         stats=dict(run.stats),
         seed=run.seed_used if run.seed_used is not None else config.seed,
         wall_time_s=wall_time,
@@ -193,7 +201,11 @@ def apply_incremental(
         colors=tuple(engine.colors),
         rounds=outcome.rounds,
         phase_rounds={"incremental-repair": outcome.rounds},
-        phase_stats={"incremental-repair": dict(update)},
+        phase_stats={
+            "incremental-repair": {
+                **update, "wall_s": update.get("wall_time_s", 0.0),
+            }
+        },
         stats={"incremental": dict(update)},
         seed=engine.result_seed,
         wall_time_s=time.perf_counter() - started,

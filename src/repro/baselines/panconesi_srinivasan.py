@@ -44,6 +44,7 @@ class PSResult:
     rounds: int
     phase_rounds: dict[str, int] = field(default_factory=dict)
     stats: dict[str, object] = field(default_factory=dict)
+    phase_wall: dict[str, float] = field(default_factory=dict)
 
 
 def ps_delta_coloring(
@@ -102,4 +103,5 @@ def ps_delta_coloring(
         rounds=ledger.total_rounds,
         phase_rounds=ledger.snapshot(),
         stats=stats,
+        phase_wall=ledger.wall_snapshot(),
     )

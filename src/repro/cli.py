@@ -17,6 +17,10 @@ Gives downstream users a zero-code path to the library:
   supervised worker processes behind a consistent-hash router speaking
   the same protocol.  See docs/SERVICE.md for the protocol and the
   sharding topology.
+* ``trace`` — render span JSONL exported by ``serve --trace-dir`` (see
+  :mod:`repro.obs`) as a slowest-traces table plus per-trace waterfalls;
+  the cross-process view of where one request's time went, router to
+  solver phase.
 * ``demo`` — run one of the bundled example scenarios.
 * ``info`` — parse a graph and print its structural profile (Δ, girth
   probe, niceness, Gallai-tree status, component count).
@@ -39,6 +43,8 @@ Examples::
     python -m repro bench --sweep --workers 4 --batch 8
     python -m repro serve --port 8512 --workers 2 --max-queue 128
     python -m repro serve --port 8512 --shards 2
+    python -m repro serve --port 8512 --shards 2 --trace-dir traces/
+    python -m repro trace traces/ --top 3
 """
 
 from __future__ import annotations
@@ -319,8 +325,28 @@ def _install_stop_handlers(loop, stop) -> None:
             pass
 
 
+def _serve_tracer(args: argparse.Namespace, filename: str):
+    """Build the process's span exporter from ``--trace-dir`` (or None).
+
+    Each process writes its own JSONL file under the shared directory —
+    ``repro trace <dir>`` reads them all and reassembles cross-process
+    traces by trace id.
+    """
+    if not getattr(args, "trace_dir", None):
+        return None
+    from repro.obs.trace import Tracer
+
+    trace_dir = Path(args.trace_dir)
+    trace_dir.mkdir(parents=True, exist_ok=True)
+    return Tracer(
+        sample=args.trace_sample,
+        export_path=str(trace_dir / filename),
+    )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import os
 
     if args.shards > 1:
         return _cmd_serve_sharded(args)
@@ -344,6 +370,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_wait_s=args.max_wait_ms / 1000.0,
         max_queue=args.max_queue,
         max_cost=args.max_cost if args.max_cost > 0 else None,
+        tracer=_serve_tracer(args, f"server-{os.getpid()}.jsonl"),
     )
 
     async def _serve() -> None:
@@ -393,6 +420,13 @@ def _cmd_serve_sharded(args: argparse.Namespace) -> int:
         "cache-ttl": args.cache_ttl,
         "drain-s": args.drain_s,
     }
+    if args.trace_dir:
+        # Shard children get the same flags; each exports to its own
+        # server-<pid>.jsonl in the shared directory.  A shard traces
+        # what its router sampled (remote parents force sampling on),
+        # so the shard-local rate only governs direct-to-shard traffic.
+        serve_args["trace-dir"] = args.trace_dir
+        serve_args["trace-sample"] = args.trace_sample
     supervisor = ShardSupervisor(args.shards, host=args.host, serve_args=serve_args)
 
     async def _serve() -> None:
@@ -402,7 +436,8 @@ def _cmd_serve_sharded(args: argparse.Namespace) -> int:
         # Fleet bring-up blocks on N child boot handshakes — off the loop.
         addresses = await loop.run_in_executor(None, supervisor.start)
         router = ShardRouter(
-            addresses, host=args.host, port=args.port, vnodes=args.vnodes
+            addresses, host=args.host, port=args.port, vnodes=args.vnodes,
+            tracer=_serve_tracer(args, "router.jsonl"),
         )
         monitor_task = None
         try:
@@ -433,6 +468,27 @@ def _cmd_serve_sharded(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         supervisor.stop(drain_s=1.0)
         print("# repro sharded service stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import load_spans, render_report
+
+    records = load_spans(args.paths)
+    if not records:
+        print(
+            f"repro trace: no spans in {', '.join(args.paths)}",
+            file=sys.stderr,
+        )
+        return 1
+    sys.stdout.write(
+        render_report(
+            records,
+            top=args.top,
+            trace_id=args.trace_id,
+            min_ms=args.min_ms,
+        )
+    )
     return 0
 
 
@@ -573,7 +629,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="graceful-shutdown deadline: how long SIGTERM/SIGINT waits "
         "for in-flight requests before forcing the close",
     )
+    serve.add_argument(
+        "--trace-dir",
+        help="export finished spans as JSONL under this directory "
+        "(server-<pid>.jsonl per process, router.jsonl for the front "
+        "tier; read them back with 'repro trace'); unset = tracing off",
+    )
+    serve.add_argument(
+        "--trace-sample", type=float, default=1.0,
+        help="root sampling probability in [0,1] (with --trace-dir); "
+        "shards inherit the router's per-request decision",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    trace = sub.add_parser(
+        "trace",
+        help="render span JSONL from serve --trace-dir as waterfalls",
+    )
+    trace.add_argument(
+        "paths", nargs="+",
+        help="span JSONL files, or directories of *.jsonl (a --trace-dir)",
+    )
+    trace.add_argument(
+        "--top", type=int, default=5,
+        help="how many of the slowest traces to render (default 5)",
+    )
+    trace.add_argument(
+        "--trace-id",
+        help="narrow the report to one trace (full 32-hex id or a prefix)",
+    )
+    trace.add_argument(
+        "--min-ms", type=float, default=0.0,
+        help="drop traces faster than this many milliseconds",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     demo = sub.add_parser("demo", help="run a bundled example")
     demo.add_argument(

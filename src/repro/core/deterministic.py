@@ -52,6 +52,7 @@ class DeterministicResult:
     rounds: int
     phase_rounds: dict[str, int] = field(default_factory=dict)
     stats: dict[str, object] = field(default_factory=dict)
+    phase_wall: dict[str, float] = field(default_factory=dict)
 
 
 def ruling_distance(n: int, delta: int) -> int:
@@ -115,6 +116,7 @@ def delta_coloring_deterministic(
         rounds=ledger.total_rounds,
         phase_rounds=ledger.snapshot(),
         stats=stats,
+        phase_wall=ledger.wall_snapshot(),
     )
 
 

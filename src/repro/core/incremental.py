@@ -132,6 +132,12 @@ class UpdateOutcome:
     delta: int = 0
     palette: int = 0
     wall_time_s: float = 0.0
+    rung_wall_s: dict[str, float] = field(default_factory=dict)
+
+    def charge_rung_wall(self, rung: str, seconds: float) -> None:
+        """Accumulate wall-clock seconds against a ladder rung
+        (``greedy`` / ``token-walk`` / ``resolve``)."""
+        self.rung_wall_s[rung] = self.rung_wall_s.get(rung, 0.0) + seconds
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -148,6 +154,10 @@ class UpdateOutcome:
             "delta": self.delta,
             "palette": self.palette,
             "wall_time_s": round(self.wall_time_s, 6),
+            "rung_wall_s": {
+                rung: round(seconds, 6)
+                for rung, seconds in self.rung_wall_s.items()
+            },
         }
 
 
@@ -635,6 +645,7 @@ class IncrementalColoring:
             colors[v] = UNCOLORED
         palette = self.palette
         for v in uncolor:
+            rung_started = time.perf_counter()
             used = set()
             for w in graph.neighbors_csr(v):
                 c = colors[w]
@@ -649,6 +660,9 @@ class IncrementalColoring:
                     outcome.repair_modes.get("greedy", 0) + 1
                 )
                 outcome.rounds += 1
+                outcome.charge_rung_wall(
+                    "greedy", time.perf_counter() - rung_started
+                )
                 continue
             fix = fix_uncolored_node(graph, colors, v, max_colors=palette)
             outcome.repair_modes[fix.mode] = (
@@ -656,6 +670,9 @@ class IncrementalColoring:
             )
             outcome.max_repair_radius = max(outcome.max_repair_radius, fix.radius)
             outcome.rounds += fix.rounds
+            outcome.charge_rung_wall(
+                "token-walk", time.perf_counter() - rung_started
+            )
 
     def _resolve(
         self, graph: Graph, outcome: UpdateOutcome, reason: str
@@ -679,7 +696,9 @@ class IncrementalColoring:
         if config is None:
             config = SolverConfig(algorithm="auto", seed=self.seed)
         solvable = graph.snapshot() if isinstance(graph, DynamicGraph) else graph
+        rung_started = time.perf_counter()
         result = solve(solvable, config)
+        outcome.charge_rung_wall("resolve", time.perf_counter() - rung_started)
         outcome.full_resolve = True
         outcome.resolve_reason = reason
         outcome.rounds += result.rounds

@@ -121,6 +121,7 @@ class DeltaColoringResult:
     rounds: int
     phase_rounds: dict[str, int] = field(default_factory=dict)
     stats: dict[str, object] = field(default_factory=dict)
+    phase_wall: dict[str, float] = field(default_factory=dict)
 
 
 def delta_coloring_small_delta(
@@ -289,6 +290,7 @@ def delta_coloring_randomized(
         rounds=ledger.total_rounds,
         phase_rounds=ledger.snapshot(),
         stats=stats,
+        phase_wall=ledger.wall_snapshot(),
     )
 
 

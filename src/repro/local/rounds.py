@@ -17,6 +17,7 @@ Two charging styles coexist, both exact LOCAL semantics:
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -65,20 +66,31 @@ class RoundLedger:
     concurrently and cost their maximum, not their sum.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, clock=time.perf_counter) -> None:
         self.total_rounds = 0
         self.breakdown = PhaseBreakdown()
         self._stack: list[str] = []
+        self._clock = clock
+        self._wall: dict[str, float] = {}
 
     # -- phase management --------------------------------------------------
 
     @contextmanager
     def phase(self, name: str):
-        """Context manager attributing charges to ``name`` (nestable)."""
+        """Context manager attributing charges to ``name`` (nestable).
+
+        Also accumulates the phase's wall-clock seconds, keyed by the same
+        ``/``-joined name the round breakdown uses — the source of the
+        reserved ``wall_s`` entries in ``ColoringResult.phase_stats``.
+        """
         self._stack.append(name)
+        joined = self._current_phase()
+        started = self._clock()
         try:
             yield self
         finally:
+            elapsed = self._clock() - started
+            self._wall[joined] = self._wall.get(joined, 0.0) + elapsed
             self._stack.pop()
 
     def _current_phase(self) -> str:
@@ -108,6 +120,15 @@ class RoundLedger:
     def snapshot(self) -> dict[str, int]:
         """Copy of the per-phase totals."""
         return dict(self.breakdown.phases)
+
+    def wall_snapshot(self) -> dict[str, float]:
+        """Per-phase wall-clock seconds, keyed like :meth:`snapshot`.
+
+        A nested phase's time is counted under its own joined name only;
+        the enclosing phase's entry includes it (wall time, unlike rounds,
+        is measured around the ``with`` block rather than charged once).
+        """
+        return dict(self._wall)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"RoundLedger(total={self.total_rounds})"

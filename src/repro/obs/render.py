@@ -1,0 +1,141 @@
+"""Waterfall / top-N rendering over exported JSONL spans.
+
+The analysis half of ``repro trace``: group span records (from
+:func:`repro.obs.trace.load_spans`) into traces, rank traces by wall
+duration, and render each as an indented waterfall — offset bars laid
+out against the trace's own time window, so a router-to-solver-phase
+request reads top to bottom in causal order even when its spans came
+from three different processes' export files.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["group_traces", "render_trace", "render_report", "TraceView"]
+
+
+class TraceView:
+    """One trace's spans, ordered and depth-annotated for rendering."""
+
+    def __init__(self, trace_id: str, spans: list[dict[str, Any]]):
+        self.trace_id = trace_id
+        self.spans = sorted(
+            spans, key=lambda s: (s.get("start_s", 0.0), s.get("span_id", ""))
+        )
+        by_id = {s.get("span_id"): s for s in self.spans}
+        self.depth: dict[str, int] = {}
+        for span in self.spans:
+            self.depth[span["span_id"]] = self._depth_of(span, by_id)
+        starts = [s.get("start_s", 0.0) for s in self.spans]
+        ends = [
+            s.get("start_s", 0.0) + s.get("duration_s", 0.0) for s in self.spans
+        ]
+        self.start_s = min(starts) if starts else 0.0
+        self.end_s = max(ends) if ends else 0.0
+
+    def _depth_of(self, span: dict[str, Any], by_id: dict) -> int:
+        depth, seen = 0, set()
+        current = span
+        while True:
+            parent_id = current.get("parent_id")
+            if parent_id is None or parent_id not in by_id or parent_id in seen:
+                # roots, and orphans whose parent wasn't exported (e.g.
+                # a tier traced at sample=0 without a file), both anchor
+                # at their nearest present ancestor
+                return depth
+            seen.add(parent_id)
+            current = by_id[parent_id]
+            depth += 1
+
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.end_s - self.start_s)
+
+    @property
+    def root(self) -> dict[str, Any]:
+        for span in self.spans:
+            if self.depth.get(span.get("span_id"), 0) == 0:
+                return span
+        return self.spans[0]
+
+
+def group_traces(records: "list[dict[str, Any]]") -> list[TraceView]:
+    """Group span records by trace id; slowest trace first."""
+    by_trace: dict[str, list[dict[str, Any]]] = {}
+    for record in records:
+        trace_id = record.get("trace_id")
+        if isinstance(trace_id, str) and trace_id:
+            by_trace.setdefault(trace_id, []).append(record)
+    views = [TraceView(tid, spans) for tid, spans in by_trace.items()]
+    views.sort(key=lambda view: view.duration_s, reverse=True)
+    return views
+
+
+def _format_attrs(attrs: dict[str, Any], limit: int = 4) -> str:
+    if not attrs:
+        return ""
+    parts = [f"{k}={v}" for k, v in list(attrs.items())[:limit]]
+    if len(attrs) > limit:
+        parts.append("…")
+    return "  " + " ".join(parts)
+
+
+def render_trace(view: TraceView, width: int = 28) -> str:
+    """One trace as an indented waterfall with offset/duration bars."""
+    window = max(view.duration_s, 1e-9)
+    lines = [
+        f"trace {view.trace_id}  spans={len(view.spans)}  "
+        f"total={1000 * view.duration_s:.1f} ms"
+    ]
+    for span in view.spans:
+        offset = span.get("start_s", 0.0) - view.start_s
+        duration = span.get("duration_s", 0.0)
+        left = min(width - 1, int(width * offset / window))
+        fill = max(1, min(width - left, round(width * duration / window)))
+        bar = " " * left + "▇" * fill + " " * (width - left - fill)
+        indent = "  " * view.depth.get(span.get("span_id"), 0)
+        lines.append(
+            f"  [{bar}] {1000 * offset:8.1f} ms +{1000 * duration:8.1f} ms  "
+            f"{indent}{span.get('name', '?')}"
+            f"{_format_attrs(span.get('attrs', {}))}"
+        )
+    return "\n".join(lines)
+
+
+def render_report(
+    records: "list[dict[str, Any]]",
+    top: int = 5,
+    trace_id: str | None = None,
+    min_ms: float = 0.0,
+) -> str:
+    """The ``repro trace`` output: a slowest-traces table plus waterfalls.
+
+    ``trace_id`` (a full id or a unique prefix) narrows the report to one
+    trace; ``min_ms`` drops traces faster than the threshold from both
+    the table and the waterfalls.
+    """
+    views = group_traces(records)
+    if trace_id is not None:
+        views = [v for v in views if v.trace_id.startswith(trace_id)]
+        if not views:
+            return f"no trace matching {trace_id!r} in {len(records)} spans"
+    if min_ms > 0:
+        views = [v for v in views if 1000 * v.duration_s >= min_ms]
+    if not views:
+        return f"no complete traces in {len(records)} spans"
+    lines = [f"{len(records)} spans, {len(views)} trace(s)", ""]
+    lines.append(
+        f"{'#':>3}  {'trace':<16} {'root':<24} {'spans':>5} {'total':>10}"
+    )
+    for rank, view in enumerate(views[:top], 1):
+        lines.append(
+            f"{rank:>3}  {view.trace_id[:16]:<16} "
+            f"{view.root.get('name', '?'):<24} {len(view.spans):>5} "
+            f"{1000 * view.duration_s:>8.1f} ms"
+        )
+    lines.append("")
+    for view in views[:top]:
+        lines.append(render_trace(view))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

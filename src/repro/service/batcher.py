@@ -60,7 +60,8 @@ from repro.service.fingerprint import (
     update_fingerprint,
 )
 from repro.service.graphstore import GraphStore
-from repro.service.metrics import ServiceMetrics
+from repro.service.metrics import ServiceMetrics, error_kind
+from repro.obs.trace import NOOP_SPAN, NULL_TRACER, Tracer
 
 __all__ = ["BatchingGateway", "GatewayReply", "UpdateReply", "request_cost"]
 
@@ -107,15 +108,20 @@ def request_cost(n: int, m: int) -> int:
 class _Pending:
     __slots__ = (
         "fingerprint", "graph", "config", "config_key", "future", "cost",
+        "span",
     )
 
-    def __init__(self, fingerprint, graph, config, config_key, future, cost):
+    def __init__(
+        self, fingerprint, graph, config, config_key, future, cost,
+        span=NOOP_SPAN,
+    ):
         self.fingerprint = fingerprint
         self.graph = graph
         self.config = config
         self.config_key = config_key
         self.future = future
         self.cost = cost
+        self.span = span
 
 
 class BatchingGateway:
@@ -156,6 +162,14 @@ class BatchingGateway:
         Retains solved instances under their request digests so the
         ``update`` verb can find its parent graph; injectable for tests
         and for the server's stats endpoint.
+    tracer:
+        The :class:`repro.obs.Tracer` child spans are recorded on
+        (``gateway.cache_probe`` / ``gateway.coalesce_wait`` /
+        ``gateway.admission`` / ``gateway.batch_execute`` plus the
+        synthesized per-solver-phase and per-repair-rung spans).  Spans
+        are emitted only under a sampled ``parent_span`` — an untraced
+        request costs nothing here.  Defaults to the disabled
+        :data:`repro.obs.NULL_TRACER`.
     """
 
     def __init__(
@@ -170,6 +184,7 @@ class BatchingGateway:
         max_followers: int | None = None,
         max_cost: int | None = None,
         graph_store: GraphStore | None = None,
+        tracer: Tracer | None = None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -182,6 +197,7 @@ class BatchingGateway:
         self.cache = cache if cache is not None else ResultCache()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.graph_store = graph_store if graph_store is not None else GraphStore()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.max_batch = max_batch
         self.max_wait_s = max(0.0, max_wait_s)
         self.max_queue = max_queue
@@ -240,6 +256,7 @@ class BatchingGateway:
         *,
         fingerprint: str | None = None,
         cost: int | None = None,
+        parent_span=None,
     ) -> GatewayReply:
         """Resolve one request through cache / coalescing / batched solve.
 
@@ -258,9 +275,14 @@ class BatchingGateway:
         outstanding-request bound (or, with ``max_cost`` set, the
         outstanding-cost bound) is hit, and re-raises the engine's own
         error (or the factory's construction error) if the solve fails.
+
+        ``parent_span`` (a sampled :class:`repro.obs.Span`) attaches the
+        gateway's child spans to the server's request span; with the
+        default ``None`` the request is untraced here.
         """
         config = (config or SolverConfig()).without_observer()
         started = time.perf_counter()
+        parent_span = parent_span if parent_span is not None else NOOP_SPAN
         if cost is None:
             cost = (
                 request_cost(graph.n, graph.num_edges)
@@ -278,7 +300,10 @@ class BatchingGateway:
                 )
             else:
                 fingerprint = request_fingerprint(graph, config)
+        probe = self.tracer.start_span("gateway.cache_probe", parent=parent_span)
         hit = self.cache.get(fingerprint)
+        if probe:
+            probe.set_attr("hit", hit is not None).end()
         if hit is not None:
             self.metrics.record_request(time.perf_counter() - started, cached=True)
             return GatewayReply(result=hit, cached=True, fingerprint=fingerprint)
@@ -293,12 +318,17 @@ class BatchingGateway:
                 )
             self.coalesced += 1
             self._followers += 1
+            wait_span = self.tracer.start_span(
+                "gateway.coalesce_wait", parent=parent_span
+            )
             try:
-                result = await asyncio.shield(shared)
+                with wait_span:
+                    result = await asyncio.shield(shared)
             except asyncio.CancelledError:
                 raise  # this follower itself was cancelled, not failed
-            except BaseException:
-                self.metrics.record_failed()  # every follower saw the failure
+            except BaseException as exc:
+                # every follower saw the failure
+                self.metrics.record_failed(error_kind(exc))
                 raise
             finally:
                 self._followers -= 1
@@ -307,7 +337,13 @@ class BatchingGateway:
             )
             return GatewayReply(result=result, cached=False, fingerprint=fingerprint)
 
-        self._admit(cost)
+        with self.tracer.start_span(
+            "gateway.admission", parent=parent_span,
+        ) as admission:
+            if admission:
+                admission.set_attr("outstanding", self._outstanding)
+                admission.set_attr("cost", cost)
+            self._admit(cost)
 
         # One future carries the request from here on: registered before
         # any await so concurrent duplicates coalesce onto it, reserved
@@ -329,7 +365,7 @@ class BatchingGateway:
                 self._outstanding -= 1
                 self._outstanding_cost -= cost
                 self._inflight.pop(fingerprint, None)
-                self.metrics.record_failed()
+                self.metrics.record_failed(error_kind(exc))
                 self.metrics.set_queue_depth(self._outstanding)
                 if not future.done():
                     # followers get a retryable error, not the leader's
@@ -346,7 +382,8 @@ class BatchingGateway:
                 raise
 
         pending = _Pending(
-            fingerprint, graph, config, config_fingerprint(config), future, cost
+            fingerprint, graph, config, config_fingerprint(config), future, cost,
+            span=parent_span,
         )
         self._queue.append(pending)
         self.metrics.set_queue_depth(self._outstanding)
@@ -391,6 +428,7 @@ class BatchingGateway:
         config: SolverConfig | None = None,
         *,
         backend: str = "auto",
+        parent_span=None,
     ) -> UpdateReply:
         """Resolve one edge-stream update against a cached parent.
 
@@ -425,12 +463,16 @@ class BatchingGateway:
         """
         config = (config or SolverConfig()).without_observer()
         started = time.perf_counter()
+        parent_span = parent_span if parent_span is not None else NOOP_SPAN
         edges_added = list(edges_added)
         edges_removed = list(edges_removed)
         child_digest = update_fingerprint(
             parent_digest, edges_added, edges_removed, config_fingerprint(config)
         )
+        probe = self.tracer.start_span("gateway.cache_probe", parent=parent_span)
         hit = self.cache.get(child_digest)
+        if probe:
+            probe.set_attr("hit", hit is not None).end()
         if hit is not None:
             self.metrics.record_request(time.perf_counter() - started, cached=True)
             return UpdateReply(
@@ -451,12 +493,16 @@ class BatchingGateway:
                 )
             self.coalesced += 1
             self._followers += 1
+            wait_span = self.tracer.start_span(
+                "gateway.coalesce_wait", parent=parent_span
+            )
             try:
-                result = await asyncio.shield(shared)
+                with wait_span:
+                    result = await asyncio.shield(shared)
             except asyncio.CancelledError:
                 raise
-            except BaseException:
-                self.metrics.record_failed()
+            except BaseException as exc:
+                self.metrics.record_failed(error_kind(exc))
                 raise
             finally:
                 self._followers -= 1
@@ -482,6 +528,7 @@ class BatchingGateway:
             parent_graph = self.graph_store.get(parent_digest)
             parent_result = self.cache.get(parent_digest)
             if parent_graph is None or parent_result is None:
+                self.metrics.record_failed("stale_parent")
                 raise StaleParentError(
                     f"unknown parent {parent_digest[:16]}…: not in the graph "
                     "store / result cache (evicted, never solved here, or a "
@@ -492,7 +539,13 @@ class BatchingGateway:
         else:
             cost = request_cost(engine.n, engine.num_edges)
         try:
-            self._admit(cost)
+            with self.tracer.start_span(
+                "gateway.admission", parent=parent_span,
+            ) as admission:
+                if admission:
+                    admission.set_attr("outstanding", self._outstanding)
+                    admission.set_attr("cost", cost)
+                self._admit(cost)
         except BaseException:
             if engine is not None:
                 self.graph_store.put_engine(parent_digest, engine)
@@ -517,15 +570,36 @@ class BatchingGateway:
                 materialize_graph=False,
             )
 
+        apply_span = self.tracer.start_span(
+            "gateway.update_apply", parent=parent_span
+        )
         try:
-            updated = await asyncio.get_running_loop().run_in_executor(None, _apply)
+            updated = await asyncio.get_running_loop().run_in_executor(
+                None, _apply
+            )
+            if apply_span:
+                apply_span.set_attr(
+                    "full_resolve", bool(updated.update.get("full_resolve"))
+                )
+                apply_span.end()
+                # Repair-rung children synthesized from the engine's own
+                # wall breakdown, laid end-to-end under the apply span.
+                offset = 0.0
+                for rung, wall in updated.update.get("rung_wall_s", {}).items():
+                    self.tracer.emit(
+                        f"repair.{rung}", apply_span, wall, offset_s=offset
+                    )
+                    offset += wall
         except BaseException as exc:
+            if apply_span:
+                apply_span.set_attr("error", type(exc).__name__)
+                apply_span.end()
             # Rejected deltas leave the engine state exactly unchanged
             # (the engine's rollback contract), so the chain head goes
             # back where it was and the caller may correct and retry.
             if engine is not None:
                 self.graph_store.put_engine(parent_digest, engine)
-            self.metrics.record_failed()
+            self.metrics.record_failed(error_kind(exc))
             if not future.done():
                 future.set_exception(
                     ServiceOverloadedError("in-flight update was cancelled; retry")
@@ -579,16 +653,19 @@ class BatchingGateway:
                 except asyncio.TimeoutError:
                     break
             self.metrics.record_batch(len(batch))
+            batch_started = time.perf_counter()
             outcomes = await loop.run_in_executor(None, self._solve_batch, batch)
+            batch_elapsed = time.perf_counter() - batch_started
             for pending, outcome in outcomes:
                 self._outstanding -= 1
                 self._outstanding_cost -= pending.cost
                 self._inflight.pop(pending.fingerprint, None)
                 if isinstance(outcome, BaseException):
-                    self.metrics.record_failed()
+                    self.metrics.record_failed(error_kind(outcome))
                     if not pending.future.done():
                         pending.future.set_exception(outcome)
                 else:
+                    self._emit_solve_spans(pending, outcome, batch_elapsed, len(batch))
                     self.cache.put(pending.fingerprint, outcome)
                     # Retained under the same digest so a later `update`
                     # can use this instance as its repair parent.
@@ -631,6 +708,45 @@ class BatchingGateway:
                     except Exception as exc:
                         outcomes.append((pending, exc))
         return outcomes
+
+    def _emit_solve_spans(
+        self,
+        pending: _Pending,
+        result: ColoringResult,
+        batch_elapsed: float,
+        batch_size: int,
+    ) -> None:
+        """Synthesize the batch-execute span plus one child per solver
+        phase (from the engine's recorded ``wall_s`` breakdown) under a
+        sampled request's span.  Untraced requests skip out in one check."""
+        if not pending.span:
+            return
+        exec_span = self.tracer.emit(
+            "gateway.batch_execute",
+            pending.span,
+            batch_elapsed,
+            attrs={"batch_size": batch_size, "algorithm": result.algorithm},
+        )
+        offset = 0.0
+        for phase in result.phase_rounds:
+            stats = result.phase_stats.get(phase, {})
+            wall = stats.get("wall_s")
+            if not isinstance(wall, (int, float)):
+                continue
+            self.tracer.emit(
+                f"solver.{phase}", exec_span, wall, offset_s=offset,
+                attrs={"rounds": result.phase_rounds.get(phase)},
+            )
+            offset += wall
+        # nested ledger phases ("a/b") ride along, anchored after the
+        # top-level phases rather than interleaved — their parent entry
+        # already contains their time
+        for phase, stats in result.phase_stats.items():
+            if phase in result.phase_rounds or "/" not in phase:
+                continue
+            wall = stats.get("wall_s")
+            if isinstance(wall, (int, float)):
+                self.tracer.emit(f"solver.{phase}", exec_span, wall)
 
     # -- reporting ---------------------------------------------------------
 

@@ -281,6 +281,19 @@ class ColoringClient:
             _raise_for_error(reply)
         return reply["stats"]
 
+    def metrics(self, format: str = "json") -> dict[str, Any] | str:
+        """The server's instrument registry snapshot.
+
+        ``format="json"`` returns the snapshot dict
+        (:meth:`repro.obs.meters.MetricsRegistry.as_dict` shape — against
+        a router, the merged fleet view); ``format="prometheus"`` returns
+        the text exposition as a string.
+        """
+        reply = self._roundtrip({"op": "metrics", "format": format})
+        if not reply.get("ok"):
+            _raise_for_error(reply)
+        return reply["metrics_text" if format == "prometheus" else "metrics"]
+
     def ping(self) -> bool:
         reply = self._roundtrip({"op": "ping"})
         return bool(reply.get("ok")) and bool(reply.get("pong"))
@@ -400,6 +413,13 @@ class AsyncColoringClient:
         if not reply.get("ok"):
             _raise_for_error(reply)
         return reply["stats"]
+
+    async def metrics(self, format: str = "json") -> dict[str, Any] | str:
+        """Async counterpart of :meth:`ColoringClient.metrics`."""
+        reply = await self._roundtrip({"op": "metrics", "format": format})
+        if not reply.get("ok"):
+            _raise_for_error(reply)
+        return reply["metrics_text" if format == "prometheus" else "metrics"]
 
     async def ping(self) -> bool:
         reply = await self._roundtrip({"op": "ping"})

@@ -11,7 +11,12 @@ Request::
 * ``op`` — ``"solve"``, ``"update"`` (edge delta against a served
   instance, addressed by ``parent_digest``; see
   :meth:`ColoringServer._reply_for_update` and docs/INCREMENTAL.md),
-  ``"stats"`` (gateway/cache/metrics snapshot) or ``"ping"``.
+  ``"stats"`` (gateway/cache/metrics snapshot), ``"metrics"`` (the
+  instrument registry, JSON or Prometheus text — see
+  docs/OBSERVABILITY.md) or ``"ping"``.
+* ``trace`` (optional) — a ``{"trace_id", "span_id"}`` context from an
+  upstream tier; the server continues that trace instead of rooting its
+  own (unknown extra fields, this one included, never break old servers).
 * ``graph.edges`` — undirected edge pairs.  With ``graph.n`` present the
   ids must be ``0..n-1`` (isolated nodes allowed); without it, arbitrary
   integer ids are compacted ascending — the same normalisation as
@@ -60,6 +65,8 @@ from repro.errors import (
     StaleParentError,
 )
 from repro.graphs.graph import Graph
+from repro.obs.meters import render_prometheus
+from repro.obs.trace import Tracer
 from repro.service.batcher import BatchingGateway, request_cost
 from repro.service.fingerprint import (
     combine_fingerprints,
@@ -431,16 +438,49 @@ class ColoringServer(NdjsonEndpoint):
         host: str = "127.0.0.1",
         port: int = 8512,
         gateway: BatchingGateway | None = None,
+        tracer: Tracer | None = None,
         **gateway_kwargs: Any,
     ):
         super().__init__(host, port)
-        self.gateway = gateway if gateway is not None else BatchingGateway(**gateway_kwargs)
+        if gateway is None:
+            gateway = BatchingGateway(tracer=tracer, **gateway_kwargs)
+        self.gateway = gateway
+        # One tracer per tier: the server's request spans and the
+        # gateway's child spans share it (a remote router context on the
+        # request forces sampling on for the whole tier).
+        self.tracer = tracer if tracer is not None else gateway.tracer
 
     def _on_start(self) -> None:
         self.gateway.warm()
 
     async def _on_close(self) -> None:
         await self.gateway.close()
+
+    def _reply_for_metrics(self, request_id: Any, request: dict[str, Any]) -> dict[str, Any]:
+        """The ``metrics`` op: the registry snapshot (JSON or Prometheus).
+
+        ``{"op": "metrics"}`` returns ``{"metrics": {…registry
+        snapshot…}}``; ``{"op": "metrics", "format": "prometheus"}``
+        returns ``{"metrics_text": "…exposition…"}``.  The router
+        aggregates these per shard into one fleet view.
+        """
+        fmt = request.get("format", "json")
+        snapshot = self.gateway.metrics.registry.as_dict()
+        if fmt == "prometheus":
+            return {
+                "id": request_id, "ok": True,
+                "metrics_text": render_prometheus(snapshot),
+            }
+        if fmt != "json":
+            return _error_reply(
+                request_id,
+                "protocol",
+                ServiceProtocolError(
+                    f"unknown metrics format {fmt!r}; expected 'json' or "
+                    "'prometheus'"
+                ),
+            )
+        return {"id": request_id, "ok": True, "metrics": snapshot}
 
     async def _reply_for(self, line: bytes) -> dict[str, Any]:
         request_id: Any = None
@@ -454,6 +494,8 @@ class ColoringServer(NdjsonEndpoint):
                 return {"id": request_id, "ok": True, "pong": True}
             if op == "stats":
                 return {"id": request_id, "ok": True, "stats": self.gateway.stats()}
+            if op == "metrics":
+                return self._reply_for_metrics(request_id, request)
             if op == "update":
                 return await self._reply_for_update(request_id, request)
             if op != "solve":
@@ -461,8 +503,10 @@ class ColoringServer(NdjsonEndpoint):
             parsed = parse_graph_payload(request.get("graph"))
             config = config_from_payload(request.get("config"))
         except ServiceProtocolError as exc:
+            self.gateway.metrics.record_error("protocol")
             return _error_reply(request_id, "protocol", exc)
         except (json.JSONDecodeError, ReproError) as exc:
+            self.gateway.metrics.record_error("protocol")
             return _error_reply(request_id, "protocol", exc)
 
         # Hash the payload directly (edge_keys_fingerprint) so cache hits
@@ -474,17 +518,29 @@ class ColoringServer(NdjsonEndpoint):
         )
         cost = request_cost(parsed.n, len(parsed.edge_keys))
         node_ids = parsed.node_ids
+        # Root here when untraced upstream; a router's wire context
+        # (request["trace"]) continues the fleet-wide trace instead.
+        span = self.tracer.start_span(
+            "server.request",
+            remote_parent=request.get("trace"),
+            attrs={"op": "solve", "cost": cost},
+        )
         try:
             reply = await self.gateway.submit(
-                parsed.build, config, fingerprint=fingerprint, cost=cost
+                parsed.build, config, fingerprint=fingerprint, cost=cost,
+                parent_span=span,
             )
         except ServiceOverloadedError as exc:
+            span.set_attr("error", "overloaded").end()
             return _error_reply(request_id, "overloaded", exc)
         except GraphError as exc:
             # deferred structural validation (self-loops, duplicate edges)
+            span.set_attr("error", "protocol").end()
             return _error_reply(request_id, "protocol", exc)
         except ReproError as exc:
+            span.set_attr("error", "engine").end()
             return _error_reply(request_id, "engine", exc)
+        span.set_attr("cached", reply.cached).end()
         body: dict[str, Any] = {
             "id": request_id,
             "ok": True,
@@ -543,24 +599,37 @@ class ColoringServer(NdjsonEndpoint):
             )
             config = config_from_payload(request.get("config"))
         except ServiceProtocolError as exc:
+            self.gateway.metrics.record_error("protocol")
             return _error_reply(request_id, "protocol", exc)
+        span = self.tracer.start_span(
+            "server.request",
+            remote_parent=request.get("trace"),
+            attrs={"op": "update"},
+        )
         try:
             reply = await self.gateway.submit_update(
-                parent_digest, added, removed, config, backend=backend
+                parent_digest, added, removed, config, backend=backend,
+                parent_span=span,
             )
         except ServiceOverloadedError as exc:
+            span.set_attr("error", "overloaded").end()
             return _error_reply(request_id, "overloaded", exc)
         except ServiceProtocolError as exc:
             # defensive: the fingerprint layer re-checks packed-id range
+            span.set_attr("error", "protocol").end()
             return _error_reply(request_id, "protocol", exc)
         except StaleParentError as exc:
+            span.set_attr("error", "stale_parent").end()
             return _error_reply(request_id, "stale_parent", exc)
         except (IncrementalUpdateError, GraphError) as exc:
             # rejected delta (edge already present / not present, bad
             # endpoints): the client's request is wrong, not the engine
+            span.set_attr("error", "update").end()
             return _error_reply(request_id, "update", exc)
         except ReproError as exc:
+            span.set_attr("error", "engine").end()
             return _error_reply(request_id, "engine", exc)
+        span.set_attr("cached", reply.cached).end()
         return {
             "id": request_id,
             "ok": True,

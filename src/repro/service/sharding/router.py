@@ -43,6 +43,8 @@ from collections import OrderedDict
 from typing import Any, Sequence
 
 from repro.errors import ReproError, ServiceProtocolError, ShardUnavailableError
+from repro.obs.meters import MetricsRegistry, merge_snapshots, render_prometheus
+from repro.obs.trace import NOOP_SPAN, NULL_TRACER, Tracer
 from repro.service.fingerprint import (
     combine_fingerprints,
     config_fingerprint,
@@ -214,6 +216,7 @@ class ShardRouter(NdjsonEndpoint):
         port: int = 0,
         vnodes: int = DEFAULT_VNODES,
         update_map_entries: int = 262_144,
+        tracer: Tracer | None = None,
     ):
         if not shard_addresses:
             raise ValueError("ShardRouter needs at least one shard address")
@@ -227,6 +230,31 @@ class ShardRouter(NdjsonEndpoint):
         self.routed: dict[str, int] = {"solve": 0, "update": 0, "stats": 0}
         self.per_shard: list[int] = [0] * len(self._links)
         self.unavailable = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # The router's own instrument registry: merged with the shards'
+        # snapshots by the ``metrics`` verb into one fleet view.
+        self.registry = MetricsRegistry()
+        self.registry.install_process_gauges()
+        self._routed_counter = self.registry.counter(
+            "repro_router_requests_total",
+            "Requests routed by op",
+            labelnames=("op",),
+        )
+        self._forward_counter = self.registry.counter(
+            "repro_router_forwards_total",
+            "Forwards by shard index",
+            labelnames=("shard",),
+        )
+        self._error_counter = self.registry.counter(
+            "repro_router_errors_total",
+            "Router-tier errors by typed kind",
+            labelnames=("kind",),
+        )
+        self._shard_up = self.registry.gauge(
+            "repro_router_shard_up",
+            "1 when the shard answered the last metrics fan-out",
+            labelnames=("shard",),
+        )
 
     @property
     def num_shards(self) -> int:
@@ -268,15 +296,21 @@ class ShardRouter(NdjsonEndpoint):
                 }
             if op == "stats":
                 self.routed["stats"] += 1
+                self._routed_counter.inc(op="stats")
                 return await self._aggregate_stats(request_id)
+            if op == "metrics":
+                self._routed_counter.inc(op="metrics")
+                return await self._aggregate_metrics(request_id, request)
             if op == "update":
                 return await self._route_update(request_id, request)
             if op != "solve":
                 raise ServiceProtocolError(f"unknown op {op!r}")
             return await self._route_solve(request_id, request)
         except ServiceProtocolError as exc:
+            self._error_counter.inc(kind="protocol")
             return _error_reply(request_id, "protocol", exc)
         except (json.JSONDecodeError, ReproError) as exc:
+            self._error_counter.inc(kind="protocol")
             return _error_reply(request_id, "protocol", exc)
 
     async def _route_solve(
@@ -302,7 +336,14 @@ class ShardRouter(NdjsonEndpoint):
             digest = fingerprint()
         shard = self._shard_for_digest(digest)
         self.routed["solve"] += 1
-        return await self._forward(shard, request, request_id)
+        self._routed_counter.inc(op="solve")
+        # The root of the fleet-wide trace: the sampling decision made
+        # here rides the wire to the shard (and from there to the solver).
+        span = self.tracer.start_span(
+            "router.request", attrs={"op": "solve", "shard": shard}
+        )
+        with span:
+            return await self._forward(shard, request, request_id, span=span)
 
     async def _route_update(
         self, request_id: Any, request: dict[str, Any]
@@ -318,21 +359,37 @@ class ShardRouter(NdjsonEndpoint):
         if shard is None:
             shard = self._shard_for_digest(parent_digest)
         self.routed["update"] += 1
-        reply = await self._forward(shard, request, request_id)
+        self._routed_counter.inc(op="update")
+        span = self.tracer.start_span(
+            "router.request", attrs={"op": "update", "shard": shard}
+        )
+        with span:
+            reply = await self._forward(shard, request, request_id, span=span)
         if reply.get("ok") and isinstance(reply.get("fingerprint"), str):
             self._remember_chain(reply["fingerprint"], shard)
             self._remember_chain(parent_digest, shard)
         return reply
 
     async def _forward(
-        self, shard: int, request: dict[str, Any], request_id: Any
+        self, shard: int, request: dict[str, Any], request_id: Any,
+        *, span=NOOP_SPAN,
     ) -> dict[str, Any]:
         self.per_shard[shard] += 1
+        self._forward_counter.inc(shard=shard)
+        forward_span = self.tracer.start_span("router.forward", parent=span)
+        payload = dict(request)
+        if forward_span:
+            # the shard continues this trace via the wire context
+            payload["trace"] = forward_span.wire_context()
         try:
-            reply = await self._links[shard].request(dict(request))
+            reply = await self._links[shard].request(payload)
         except ShardUnavailableError as exc:
             self.unavailable += 1
+            self._error_counter.inc(kind="shard_unavailable")
+            if forward_span:
+                forward_span.set_attr("error", "shard_unavailable").end()
             return _error_reply(request_id, "overloaded", exc)
+        forward_span.end()
         reply["id"] = request_id
         return reply
 
@@ -366,6 +423,49 @@ class ShardRouter(NdjsonEndpoint):
         }
         stats["shards"] = shards
         return {"id": request_id, "ok": True, "stats": stats}
+
+    async def _aggregate_metrics(
+        self, request_id: Any, request: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Fan ``metrics`` out to every shard and merge the snapshots
+        (plus the router's own registry) into one fleet-wide view.
+
+        Counters, histogram buckets and gauges all sum per label set
+        (see :func:`merge_snapshots`): the fleet's RSS is the sum of its
+        processes' RSS.  A dead shard is skipped — its absence shows as
+        ``repro_router_shard_up 0`` rather than a failed scrape.
+        """
+        fmt = request.get("format", "json")
+        if fmt not in ("json", "prometheus"):
+            raise ServiceProtocolError(
+                f"unknown metrics format {fmt!r} (expected json|prometheus)"
+            )
+
+        async def one(shard: int) -> dict[str, Any] | None:
+            try:
+                reply = await self._links[shard].request({"op": "metrics"})
+            except ShardUnavailableError:
+                return None
+            if not reply.get("ok"):
+                return None
+            snapshot = reply.get("metrics")
+            return snapshot if isinstance(snapshot, dict) else None
+
+        shard_snaps = list(
+            await asyncio.gather(*(one(i) for i in range(self.num_shards)))
+        )
+        for shard, snap in enumerate(shard_snaps):
+            self._shard_up.set(1.0 if snap is not None else 0.0, shard=shard)
+        merged = merge_snapshots(
+            [self.registry.as_dict()]
+            + [s for s in shard_snaps if s is not None]
+        )
+        if fmt == "prometheus":
+            return {
+                "id": request_id, "ok": True,
+                "metrics_text": render_prometheus(merged),
+            }
+        return {"id": request_id, "ok": True, "metrics": merged}
 
 
 def _merge_shard_stats(shards: list[dict[str, Any]]) -> dict[str, Any]:

@@ -514,7 +514,8 @@ class TestChainEngineEquivalence:
             for section in ("phase_stats", "stats"):
                 for stats in payload.get(section, {}).values():
                     if isinstance(stats, dict):
-                        stats.pop("wall_time_s", None)
+                        for key in ("wall_time_s", "wall_s", "rung_wall_s"):
+                            stats.pop(key, None)
             return payload
 
         solved, upd1, upd2 = asyncio.run(drive())
