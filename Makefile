@@ -4,7 +4,7 @@ PY := PYTHONPATH=src python
 
 .PHONY: test check lint bench-smoke bench-regression bench-sweep bench-million \
 	serve-smoke bench-service incremental-smoke bench-incremental \
-	shard-smoke bench-sharded obs-smoke bench-obs
+	shard-smoke bench-sharded obs-smoke bench-obs store-smoke bench-store
 
 test:
 	$(PY) -m pytest -x -q
@@ -16,13 +16,17 @@ test:
 # (single-edge update vs fresh solve at n=32768: >= 10x, digest-chained,
 # validity-asserted), the shard smoke (2-shard cluster bring-up,
 # routed solve/update/stats, a worker killed and restarted mid-load),
-# and the observability smoke (traced 2-shard fleet: every request must
+# the observability smoke (traced 2-shard fleet: every request must
 # reassemble into one connected router-to-solver-phase span tree from
 # the per-process JSONL exports, and the sampling-off tracing tax must
-# stay under 2%), so the solver facade, the bench harness, the serving
-# layer, the update path, the scale-out tier and the instrumentation
-# cannot rot independently.
-check: test bench-regression serve-smoke incremental-smoke shard-smoke obs-smoke
+# stay under 2%), and the store smoke (2-shard fleet with --store-dir
+# populated, SIGKILLed, restarted on the same directory: >= 90% warm
+# hits, bit-identical digests, every WAL chain replayed, bounded
+# restart-to-warm time), so the solver facade, the bench harness, the
+# serving layer, the update path, the scale-out tier, the
+# instrumentation and the durable storage layer cannot rot
+# independently.
+check: test bench-regression serve-smoke incremental-smoke shard-smoke obs-smoke store-smoke
 
 # Style gate (CI installs a pinned ruff; see .github/workflows/ci.yml).
 lint:
@@ -75,6 +79,20 @@ obs-smoke:
 # Full observability run (more solves, longer chains, bigger A/B batches).
 bench-obs:
 	$(PY) benchmarks/bench_s4_obs.py
+
+# Durable-store smoke: populate a 2-shard fleet started with
+# --store-dir, SIGKILL every worker, restart on the same directory —
+# the restarted fleet must serve the populated keyspace warm (>= 90%
+# cached, bit-identical content digests), replay every WAL chain, and
+# boot within the cold-boot + replay budget.  The store directory
+# itself (benchmarks/results/s5_store_dir/) is the failure artifact;
+# see docs/STORAGE.md for the on-disk layout.
+store-smoke:
+	$(PY) benchmarks/bench_s5_store.py --smoke
+
+# Full durable-store run (bigger keyspace, longer chains).
+bench-store:
+	$(PY) benchmarks/bench_s5_store.py
 
 # Full serving-layer load test (open-loop traffic; JSON in benchmarks/results/).
 bench-service:

@@ -351,21 +351,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.shards > 1:
         return _cmd_serve_sharded(args)
 
-    from repro.service.cache import ResultCache
-    from repro.service.graphstore import GraphStore
     from repro.service.server import ColoringServer
+    from repro.service.storage import StorageConfig
 
-    cache = ResultCache(
-        max_entries=args.cache_entries,
-        max_bytes=args.cache_bytes if args.cache_bytes > 0 else None,
-        ttl_s=args.cache_ttl if args.cache_ttl and args.cache_ttl > 0 else None,
+    storage = StorageConfig(
+        cache_entries=args.cache_entries,
+        cache_bytes=args.cache_bytes if args.cache_bytes > 0 else None,
+        cache_ttl_s=args.cache_ttl if args.cache_ttl and args.cache_ttl > 0 else None,
+        graph_store_entries=args.graph_store_entries,
+        store_dir=args.store_dir or None,
+        wal=args.wal == "on",
+        fsync=args.fsync,
     )
     server = ColoringServer(
         host=args.host,
         port=args.port,
         workers=args.workers,
-        cache=cache,
-        graph_store=GraphStore(max_entries=args.graph_store_entries),
+        storage=storage,
         max_batch=args.max_batch,
         max_wait_s=args.max_wait_ms / 1000.0,
         max_queue=args.max_queue,
@@ -381,7 +383,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(
             f"# repro service listening on {host}:{port} "
             f"[workers={args.workers} max_batch={args.max_batch} "
-            f"max_queue={args.max_queue} cache_entries={args.cache_entries}]",
+            f"max_queue={args.max_queue} cache_entries={args.cache_entries}"
+            + (f" store_dir={args.store_dir} fsync={args.fsync}" if args.store_dir else "")
+            + "]",
             file=sys.stderr,
         )
         try:
@@ -420,6 +424,13 @@ def _cmd_serve_sharded(args: argparse.Namespace) -> int:
         "cache-ttl": args.cache_ttl,
         "drain-s": args.drain_s,
     }
+    if args.store_dir:
+        # Each shard persists its own ≈1/N keyspace partition: the worker
+        # rewrites this to <store-dir>/<shard-id> (stable across restarts,
+        # so a replacement process replays its predecessor's store).
+        serve_args["store-dir"] = args.store_dir
+        serve_args["wal"] = args.wal
+        serve_args["fsync"] = args.fsync
     if args.trace_dir:
         # Shard children get the same flags; each exports to its own
         # server-<pid>.jsonl in the shared directory.  A shard traces
@@ -609,6 +620,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--cache-ttl", type=float, default=0.0,
         help="result TTL in seconds (<= 0 = entries never expire)",
+    )
+    serve.add_argument(
+        "--store-dir",
+        help="durable content-addressed store directory: results and "
+        "graphs persist as append-only segments and restarts replay "
+        "instead of re-solving (sharded fleets partition it per shard); "
+        "unset = in-memory only (see docs/STORAGE.md)",
+    )
+    serve.add_argument(
+        "--wal", choices=("on", "off"), default="on",
+        help="with --store-dir: keep the update write-ahead log so chain-"
+        "head engines are rebuilt by delta replay on restart",
+    )
+    serve.add_argument(
+        "--fsync", choices=("always", "batch", "never"), default="batch",
+        help="durability policy for the store and WAL: fsync per append, "
+        "every N appends, or leave flushing to the OS",
     )
     serve.add_argument(
         "--shards", type=int, default=1,

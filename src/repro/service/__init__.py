@@ -24,7 +24,12 @@ tail latency, and cache hit rate become first-class measured quantities.
 * :mod:`repro.service.sharding` — horizontal scale-out: a consistent-
   hash :class:`HashRing` over the digest keyspace, supervised
   :class:`ShardWorker` child processes, and the :class:`ShardRouter`
-  NDJSON front tier (``repro serve --shards N``).
+  NDJSON front tier (``repro serve --shards N``);
+* :mod:`repro.service.storage` — the pluggable storage API:
+  :class:`ResultStore`/:class:`WriteAheadLog` protocols, the in-memory
+  and durable (:class:`DurableStore` + update WAL) backends, one
+  :class:`StorageConfig` of knobs, and warm-restart replay
+  (``repro serve --store-dir`` — see docs/STORAGE.md).
 
 Quick start::
 
@@ -60,6 +65,15 @@ from repro.service.sharding import (
     ShardSupervisor,
     ShardWorker,
 )
+from repro.service.storage import (
+    DurableStore,
+    ResultStore,
+    StorageBundle,
+    StorageConfig,
+    TieredResultStore,
+    UpdateWAL,
+    WriteAheadLog,
+)
 
 __all__ = [
     "BatchingGateway",
@@ -79,6 +93,13 @@ __all__ = [
     "ShardRouter",
     "ShardSupervisor",
     "ShardWorker",
+    "ResultStore",
+    "WriteAheadLog",
+    "StorageConfig",
+    "StorageBundle",
+    "DurableStore",
+    "TieredResultStore",
+    "UpdateWAL",
     "graph_fingerprint",
     "config_fingerprint",
     "request_fingerprint",

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+import warnings
 from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass
@@ -61,6 +62,12 @@ from repro.service.fingerprint import (
 )
 from repro.service.graphstore import GraphStore
 from repro.service.metrics import ServiceMetrics, error_kind
+from repro.service.storage import (
+    StorageBundle,
+    StorageConfig,
+    replay_chains,
+    update_record,
+)
 from repro.obs.trace import NOOP_SPAN, NULL_TRACER, Tracer
 
 __all__ = ["BatchingGateway", "GatewayReply", "UpdateReply", "request_cost"]
@@ -133,9 +140,17 @@ class BatchingGateway:
         Process-pool width for :func:`repro.api.solve_many`; ``1`` keeps
         solves in the dispatcher's worker thread (no process hop), which
         is the right default on single-CPU containers.
-    cache / metrics:
+    storage:
+        The gateway's stores, as a declarative
+        :class:`~repro.service.storage.StorageConfig` (built here, with
+        the ``repro_store_*`` instruments wired to this gateway's metrics
+        registry, and closed by :meth:`close`) or a prebuilt
+        :class:`~repro.service.storage.StorageBundle` (lifecycle stays
+        with the caller).  Omitted = the default in-memory config —
+        bit-identical to the pre-storage-API gateway.
+    metrics:
         Injectable for tests and for sharing with the TCP server's stats
-        endpoint; fresh instances are created when omitted.
+        endpoint; a fresh instance is created when omitted.
     max_batch:
         Micro-batch size cap.
     max_wait_s:
@@ -158,10 +173,12 @@ class BatchingGateway:
         sheds *backlog*, proportionally to the work actually queued.
         ``None`` (the default) disables cost metering and admission is
         by request count alone.
-    graph_store:
-        Retains solved instances under their request digests so the
-        ``update`` verb can find its parent graph; injectable for tests
-        and for the server's stats endpoint.
+    cache / graph_store:
+        **Deprecated** since the storage API: pass ``storage=`` (a
+        config or a bundle) instead — see the migration table in
+        docs/API.md.  Still honoured, with a :class:`DeprecationWarning`:
+        the given instances are wrapped into an in-memory bundle, so
+        behavior is unchanged.
     tracer:
         The :class:`repro.obs.Tracer` child spans are recorded on
         (``gateway.cache_probe`` / ``gateway.coalesce_wait`` /
@@ -184,6 +201,7 @@ class BatchingGateway:
         max_followers: int | None = None,
         max_cost: int | None = None,
         graph_store: GraphStore | None = None,
+        storage: "StorageConfig | StorageBundle | None" = None,
         tracer: Tracer | None = None,
     ):
         if max_batch < 1:
@@ -194,9 +212,38 @@ class BatchingGateway:
             raise ValueError(f"max_followers must be >= 1, got {max_followers}")
         if max_cost is not None and max_cost < 1:
             raise ValueError(f"max_cost must be >= 1, got {max_cost}")
-        self.cache = cache if cache is not None else ResultCache()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
-        self.graph_store = graph_store if graph_store is not None else GraphStore()
+        if cache is not None or graph_store is not None:
+            if storage is not None:
+                raise ValueError(
+                    "pass either storage= or the deprecated cache=/graph_store= "
+                    "kwargs, not both"
+                )
+            warnings.warn(
+                "BatchingGateway(cache=..., graph_store=...) is deprecated; "
+                "pass storage=StorageBundle(cache=..., graph_store=...) or a "
+                "StorageConfig (see docs/API.md)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            storage = StorageBundle(
+                cache=cache if cache is not None else ResultCache(),
+                graph_store=graph_store if graph_store is not None else GraphStore(),
+            )
+        if storage is None:
+            storage = StorageConfig()
+        if isinstance(storage, StorageConfig):
+            # The gateway built these stores, so it owns their lifecycle
+            # (close() closes the durable journals); injected bundles
+            # stay the caller's to close.
+            storage = storage.build(registry=self.metrics.registry)
+            self._owns_storage = True
+        else:
+            self._owns_storage = False
+        self.storage = storage
+        self.cache = storage.cache
+        self.graph_store = storage.graph_store
+        self.last_replay: dict | None = None
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.max_batch = max_batch
         self.max_wait_s = max(0.0, max_wait_s)
@@ -220,10 +267,38 @@ class BatchingGateway:
     # -- lifecycle ---------------------------------------------------------
 
     def warm(self) -> "BatchingGateway":
-        """Spawn and warm the process pool outside any timed region."""
+        """Spawn and warm the process pool outside any timed region, and
+        replay durable state (chain heads from the WAL) when there is
+        any — the warm-restart path."""
         if self._pool is not None:
             self._pool.warm()
+        self.replay()
         return self
+
+    def replay(self) -> dict | None:
+        """Rebuild chain-head engines from the update WAL (idempotent).
+
+        Returns the replay report, or None on a memory-only gateway.
+        Recorded under ``storage.replay`` in :meth:`stats` and emitted as
+        a ``store.replay`` root span plus ``repro_store_*`` replay
+        metrics.
+        """
+        if self.storage.durable is None:
+            return None
+        with self.tracer.start_span("store.replay") as span:
+            report = replay_chains(
+                self.storage.wal,
+                self.storage.durable,
+                self.graph_store,
+                cache=self.cache,
+                meters=self.storage.meters,
+            )
+            if span:
+                span.set_attr("chains_replayed", report["chains_replayed"])
+                span.set_attr("deltas_replayed", report["deltas_replayed"])
+                span.set_attr("results_indexed", report["results_indexed"])
+        self.last_replay = report
+        return report
 
     def _ensure_dispatcher(self) -> None:
         if self._dispatcher is None or self._dispatcher.done():
@@ -240,6 +315,8 @@ class BatchingGateway:
             self._dispatcher = None
         if self._pool is not None:
             self._pool.close()
+        if self._owns_storage:
+            self.storage.close()
 
     async def __aenter__(self) -> "BatchingGateway":
         return self
@@ -609,6 +686,15 @@ class BatchingGateway:
                 future.exception()  # silence the never-retrieved warning
             raise
         else:
+            if self.storage.wal is not None:
+                # Logged after the apply succeeded (facts, not intents):
+                # replay reapplies exactly the deltas that once worked.
+                self.storage.wal.append(
+                    update_record(
+                        parent_digest, child_digest, edges_added, edges_removed,
+                        config, backend,
+                    )
+                )
             self.cache.put(child_digest, updated.result)
             self.graph_store.put_engine(child_digest, engine)
             if not future.done():
@@ -752,7 +838,10 @@ class BatchingGateway:
 
     def stats(self) -> dict:
         """Gateway-level counters merged with cache and metrics snapshots."""
-        return {
+        cache_stats = self.cache.stats()
+        if hasattr(cache_stats, "as_dict"):
+            cache_stats = cache_stats.as_dict()
+        out = {
             "workers": self.workers,
             "max_batch": self.max_batch,
             "max_wait_ms": round(1000 * self.max_wait_s, 3),
@@ -763,7 +852,13 @@ class BatchingGateway:
             "outstanding_cost": self._outstanding_cost,
             "followers": self._followers,
             "coalesced": self.coalesced,
-            "cache": self.cache.stats().as_dict(),
+            "cache": cache_stats,
             "graph_store": self.graph_store.stats(),
             "metrics": self.metrics.snapshot(),
         }
+        if self.storage.durable is not None:
+            storage = self.storage.stats()
+            if self.last_replay is not None:
+                storage["replay"] = self.last_replay
+            out["storage"] = storage
+        return out

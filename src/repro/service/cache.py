@@ -168,6 +168,18 @@ class ResultCache:
         for key, entry in expired:
             self._drop(key, entry, "ttl")
 
+    def evict(self, key: str) -> bool:
+        """Drop ``key`` if present; True when an entry was removed.
+
+        Counted as an LRU eviction (the operator-initiated kind shares
+        the capacity-pressure counter rather than growing a third)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            self._drop(key, entry, "lru")
+            return True
+
     def _drop(self, key: str, entry: _Entry, reason: str) -> None:
         self._entries.pop(key, None)
         self._stats.bytes -= entry.nbytes

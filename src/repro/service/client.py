@@ -227,6 +227,7 @@ class ColoringClient:
         edges_added: Any = (),
         edges_removed: Any = (),
         config: SolverConfig | dict | None = None,
+        *,
         fallback_graph: Any = None,
         backend: str | None = None,
         **overrides: Any,
@@ -281,7 +282,7 @@ class ColoringClient:
             _raise_for_error(reply)
         return reply["stats"]
 
-    def metrics(self, format: str = "json") -> dict[str, Any] | str:
+    def metrics(self, *, format: str = "json") -> dict[str, Any] | str:
         """The server's instrument registry snapshot.
 
         ``format="json"`` returns the snapshot dict
@@ -384,6 +385,7 @@ class AsyncColoringClient:
         edges_added: Any = (),
         edges_removed: Any = (),
         config: SolverConfig | dict | None = None,
+        *,
         fallback_graph: Any = None,
         backend: str | None = None,
         **overrides: Any,
@@ -414,7 +416,7 @@ class AsyncColoringClient:
             _raise_for_error(reply)
         return reply["stats"]
 
-    async def metrics(self, format: str = "json") -> dict[str, Any] | str:
+    async def metrics(self, *, format: str = "json") -> dict[str, Any] | str:
         """Async counterpart of :meth:`ColoringClient.metrics`."""
         reply = await self._roundtrip({"op": "metrics", "format": format})
         if not reply.get("ok"):

@@ -26,9 +26,19 @@ graph (if a solve seeded one) or nothing.  Losing an entry is never
 incorrect: an ``update`` whose parent was evicted — or whose chain
 moved on — fails with :class:`repro.errors.StaleParentError` and the
 client falls back to a full ``solve`` of the child graph, which
-re-seeds the store.  Thread-safe for the same reason the cache is — the
-gateway reads on the event loop while solves complete in worker
-threads.
+re-seeds the store.  Evictions are typed in the stats
+(``evictions_graphs`` vs ``evictions_chains``) because the two losses
+cost differently: a graph re-enters on the next solve, an evicted live
+chain head is unrecoverable in memory — only WAL replay
+(:mod:`repro.service.storage.replay`) brings it back, and only across a
+restart.  Thread-safe for the same reason the cache is — the gateway
+reads on the event loop while solves complete in worker threads.
+
+With a :class:`~repro.service.storage.durable.DurableStore` attached,
+graph puts write through to disk and graph misses read through (and
+promote), so update-verb repair parents survive restarts alongside the
+results they colored.  Engines never write through — they are exactly
+what the WAL replays.
 """
 
 from __future__ import annotations
@@ -71,23 +81,31 @@ class GraphStore:
     max_bytes:
         Bound on the summed byte estimates; ``None`` disables byte-based
         eviction.
+    durable:
+        Optional :class:`~repro.service.storage.durable.DurableStore`;
+        graph puts write through and graph misses read through.
     """
 
     def __init__(
         self,
         max_entries: int = 128,
         max_bytes: int | None = 512 * 1024 * 1024,
+        durable: Any | None = None,
     ):
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        self.durable = durable
         self._lock = threading.Lock()
         self._entries: OrderedDict[str, tuple[str, Any, int]] = OrderedDict()
         self._bytes = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.evictions_graphs = 0
+        self.evictions_chains = 0
+        self.durable_hits = 0
 
     def get(self, key: str) -> Graph | None:
         """The stored graph for ``key``, or None.
@@ -96,23 +114,37 @@ class GraphStore:
         engine's graph — O(n + m) on first read after a mutation, cached
         by the :class:`~repro.graphs.dynamic.DynamicGraph` until the next
         one — so callers that only need the instance (the stale-parent
-        fallback, tests) never see engine internals.
+        fallback, tests) never see engine internals.  A memory miss with
+        a durable tier attached falls through to disk and promotes.
         """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            kind, payload, _ = entry
-        if kind == _KIND_ENGINE:
-            return payload.graph
-        return payload
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                kind, payload, _ = entry
+        if entry is not None:
+            if kind == _KIND_ENGINE:
+                return payload.graph
+            return payload
+        if self.durable is None:
+            return None
+        graph = self.durable.get_graph(key)
+        if graph is not None:
+            self.durable_hits += 1
+            self._put(key, _KIND_GRAPH, graph, estimate_graph_nbytes(graph))
+        return graph
 
     def put(self, key: str, graph: Graph) -> None:
-        """Insert (or refresh) ``key``, evicting LRU entries past the bounds."""
+        """Insert (or refresh) ``key``, evicting LRU entries past the bounds.
+
+        Writes through to the durable tier when one is attached (an
+        idempotent no-op for a digest already on disk)."""
         self._put(key, _KIND_GRAPH, graph, estimate_graph_nbytes(graph))
+        if self.durable is not None:
+            self.durable.put_graph(key, graph)
 
     # -- chain heads -------------------------------------------------------
 
@@ -151,9 +183,29 @@ class GraphStore:
                 and self._bytes > self.max_bytes
                 and len(self._entries) > 1
             ):
-                _, (_, _, victim_bytes) = self._entries.popitem(last=False)
+                _, (victim_kind, _, victim_bytes) = self._entries.popitem(last=False)
                 self._bytes -= victim_bytes
                 self.evictions += 1
+                if victim_kind == _KIND_ENGINE:
+                    self.evictions_chains += 1
+                else:
+                    self.evictions_graphs += 1
+
+    def evict(self, key: str) -> bool:
+        """Drop ``key`` from the memory tier if present (typed-counted
+        like an LRU eviction); the durable tier is untouched."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            kind, _, nbytes = entry
+            self._bytes -= nbytes
+            self.evictions += 1
+            if kind == _KIND_ENGINE:
+                self.evictions_chains += 1
+            else:
+                self.evictions_graphs += 1
+            return True
 
     def __len__(self) -> int:
         with self._lock:
@@ -180,4 +232,7 @@ class GraphStore:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "evictions_graphs": self.evictions_graphs,
+                "evictions_chains": self.evictions_chains,
+                "durable_hits": self.durable_hits,
             }

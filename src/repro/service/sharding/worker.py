@@ -18,8 +18,12 @@ in a child process and owns its lifecycle:
 
 The worker keeps its stable ``shard_id`` across restarts, so its hash
 ring arc — and therefore the digest keyspace it caches — survives the
-restart (the cache itself is lost with the process; content-addressed
-keys mean it simply re-warms).
+restart.  Without a durable store the cache is lost with the process
+(content-addressed keys mean it simply re-warms); with a fleet
+``store-dir`` the worker rewrites it to ``<store-dir>/<shard_id>`` —
+each shard persists exactly its ≈1/N keyspace partition, and a restarted
+replacement replays its predecessor's store instead of re-solving (see
+docs/STORAGE.md).
 """
 
 from __future__ import annotations
@@ -106,6 +110,11 @@ class ShardWorker:
             "--port-file", str(port_file),
         ]
         for flag, value in self.serve_args.items():
+            if flag == "store-dir":
+                # Per-shard partition of the fleet store directory: the
+                # stable shard_id makes it survive restarts (and keeps
+                # single-writer journals single-writer).
+                value = str(Path(value) / self.shard_id)
             cmd.extend([f"--{flag}", str(value)])
         return cmd
 

@@ -1,0 +1,235 @@
+"""The append-only journal: one durable file, framed JSON records.
+
+Every durable structure in :mod:`repro.service.storage` — result/graph
+segments, the compact digest index, the update WAL — is the same thing
+on disk: a file that only ever grows, holding one framed record per
+line.  :class:`Journal` is that file, with the three properties the
+backends need and nothing else:
+
+* **Framing that survives a crash.**  A record is
+  ``<crc32-hex8> <payload-json>\\n``: the CRC covers the payload bytes,
+  and a record only *exists* once its newline hit the disk.  Recovery
+  (:meth:`recover`) walks the file from any offset and stops at the
+  first torn record — a line without its trailing newline, with a CRC
+  mismatch, or with unparseable JSON — then truncates the file back to
+  the last good boundary so the next append never lands behind garbage.
+  This is the ``load_spans`` skip-the-torn-tail discipline, hardened
+  into a write path.
+* **A configurable fsync policy** (:class:`FsyncPolicy`):
+  ``"always"`` fsyncs after every append (a record survives the kernel
+  dying the instant :meth:`append` returns), ``"batch"`` fsyncs every
+  ``batch_ops`` appends and on :meth:`sync`/:meth:`close` (bounded loss
+  window, near-``"never"`` throughput), ``"never"`` leaves flushing to
+  the OS (contents survive process death — the write() happened — but
+  not power loss).  Torn-tail recovery makes every policy *safe*; the
+  policy only chooses how much acknowledged data a power cut may undo.
+* **Exact offsets.**  :meth:`append` returns ``(offset, length)`` of the
+  written record, which is what the durable store's compact index
+  records so a ``get`` is one seek + one bounded read.
+
+Single-writer by design: each serving process owns its store directory
+(shards get ``<store-dir>/<shard-id>``), so there is no cross-process
+interleaving to defend against.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["FsyncPolicy", "Journal", "encode_record", "decode_record"]
+
+#: Accepted fsync policy names, in decreasing durability order.
+FSYNC_POLICIES = ("always", "batch", "never")
+
+
+class FsyncPolicy:
+    """When to force appended bytes onto the platter.
+
+    ``always`` — fsync per append; ``batch`` — fsync every ``batch_ops``
+    appends (and on explicit ``sync``/``close``); ``never`` — flush to
+    the kernel only.
+    """
+
+    def __init__(self, mode: str = "batch", batch_ops: int = 32):
+        if mode not in FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {mode!r}; expected one of {FSYNC_POLICIES}"
+            )
+        if batch_ops < 1:
+            raise ValueError(f"batch_ops must be >= 1, got {batch_ops}")
+        self.mode = mode
+        self.batch_ops = batch_ops
+        self._pending = 0
+
+    def after_append(self) -> bool:
+        """Should the append that just happened fsync?"""
+        if self.mode == "always":
+            return True
+        if self.mode == "never":
+            return False
+        self._pending += 1
+        if self._pending >= self.batch_ops:
+            self._pending = 0
+            return True
+        return False
+
+    def on_sync(self) -> bool:
+        """Should an explicit sync()/close() fsync?  (Everything but
+        ``never`` pays the one syscall; ``never`` means never.)"""
+        self._pending = 0
+        return self.mode != "never"
+
+
+def encode_record(payload: dict[str, Any]) -> bytes:
+    """Frame one record: ``crc32-hex8 SP canonical-json LF``."""
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return b"%08x " % crc + body + b"\n"
+
+
+def decode_record(line: bytes) -> dict[str, Any] | None:
+    """Unframe one complete line (``\\n`` already stripped or present);
+    None for anything torn, corrupt, or mis-framed."""
+    line = line.rstrip(b"\n")
+    if len(line) < 10 or line[8:9] != b" ":
+        return None
+    try:
+        crc = int(line[:8], 16)
+    except ValueError:
+        return None
+    body = line[9:]
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        payload = json.loads(body)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+class Journal:
+    """One append-only record file with torn-tail recovery.
+
+    Opening an existing file runs :meth:`recover` immediately: the tail
+    is truncated back to the last intact record, so appends always start
+    at a clean boundary.  ``fsync`` is a policy name or a prebuilt
+    :class:`FsyncPolicy`.
+    """
+
+    def __init__(self, path: str | Path, fsync: "str | FsyncPolicy" = "batch"):
+        self.path = Path(path)
+        self.policy = (
+            fsync if isinstance(fsync, FsyncPolicy) else FsyncPolicy(fsync)
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.appends = 0
+        self.fsyncs = 0
+        self.torn_records = 0
+        self._recovered_size = self._recover_tail()
+        # Append-mode keeps the offset arithmetic honest even if a
+        # foreign writer grew the file (which single-writer rules out).
+        self._handle = open(self.path, "ab")
+        self._size = self._handle.seek(0, os.SEEK_END)
+
+    # -- recovery ----------------------------------------------------------
+
+    def _recover_tail(self) -> int:
+        """Scan the whole file; truncate past the last intact record.
+
+        Returns the surviving size.  Missing file = empty journal.
+        """
+        try:
+            size = self.path.stat().st_size
+        except FileNotFoundError:
+            return 0
+        good_end = 0
+        with open(self.path, "rb") as handle:
+            while True:
+                line = handle.readline()
+                if not line:
+                    break
+                if not line.endswith(b"\n") or decode_record(line) is None:
+                    self.torn_records += 1
+                    break
+                good_end += len(line)
+        if good_end < size:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(good_end)
+        return good_end
+
+    # -- writes ------------------------------------------------------------
+
+    def append(self, payload: dict[str, Any]) -> tuple[int, int]:
+        """Durably append one record; returns its ``(offset, length)``."""
+        record = encode_record(payload)
+        offset = self._size
+        self._handle.write(record)
+        self._handle.flush()
+        self._size += len(record)
+        self.appends += 1
+        if self.policy.after_append():
+            os.fsync(self._handle.fileno())
+            self.fsyncs += 1
+        return offset, len(record)
+
+    def sync(self) -> None:
+        """Flush and (policy permitting) fsync pending appends."""
+        self._handle.flush()
+        if self.policy.on_sync():
+            os.fsync(self._handle.fileno())
+            self.fsyncs += 1
+
+    # -- reads -------------------------------------------------------------
+
+    def read_at(self, offset: int, length: int) -> dict[str, Any] | None:
+        """Decode the record at an exact ``(offset, length)`` (an index
+        entry); None if the bytes there don't frame-check."""
+        self._handle.flush()
+        with open(self.path, "rb") as handle:
+            handle.seek(offset)
+            return decode_record(handle.read(length))
+
+    def scan(self, start: int = 0) -> Iterator[tuple[int, int, dict[str, Any]]]:
+        """Yield ``(offset, length, payload)`` for every intact record
+        from ``start``; stops at the first torn record (append-only means
+        nothing valid can follow one)."""
+        self._handle.flush()
+        with open(self.path, "rb") as handle:
+            handle.seek(start)
+            offset = start
+            while True:
+                line = handle.readline()
+                if not line:
+                    return
+                if not line.endswith(b"\n"):
+                    return
+                payload = decode_record(line)
+                if payload is None:
+                    return
+                yield offset, len(line), payload
+                offset += len(line)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def close(self) -> None:
+        if self._handle.closed:
+            return
+        self.sync()
+        self._handle.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Journal({self.path}, size={self._size}, fsync={self.policy.mode})"
