@@ -2,9 +2,10 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test check lint bench-smoke bench-regression bench-sweep bench-million \
-	serve-smoke bench-service incremental-smoke bench-incremental \
-	shard-smoke bench-sharded obs-smoke bench-obs store-smoke bench-store
+.PHONY: test check lint typecheck bench-smoke bench-regression bench-sweep \
+	bench-million serve-smoke bench-service incremental-smoke \
+	bench-incremental shard-smoke bench-sharded obs-smoke bench-obs \
+	store-smoke bench-store
 
 test:
 	$(PY) -m pytest -x -q
@@ -28,9 +29,27 @@ test:
 # independently.
 check: test bench-regression serve-smoke incremental-smoke shard-smoke obs-smoke store-smoke
 
-# Style gate (CI installs a pinned ruff; see .github/workflows/ci.yml).
+# Style + invariant gate.  Two layers: ruff (generic defect rules; CI
+# installs a pinned version, locally it is skipped if absent) and
+# reprolint, the repo-specific AST linter (src/repro/devtools) that
+# enforces what ruff cannot see — see docs/DEVTOOLS.md.
 lint:
-	ruff check src tests benchmarks scripts
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks scripts; \
+	else \
+		echo "ruff not installed; skipping (CI runs it pinned)"; \
+	fi
+	$(PY) -m repro lint src scripts benchmarks
+
+# Type gate: mypy over the strict surfaces (storage, obs, sharding; see
+# [tool.mypy] in pyproject.toml).  Skipped locally if mypy is absent —
+# CI installs a pinned version.
+typecheck:
+	@if python -c "import mypy" >/dev/null 2>&1; then \
+		MYPYPATH=src python -m mypy -p repro.service.storage -p repro.obs -p repro.service.sharding; \
+	else \
+		echo "mypy not installed; skipping (CI runs it pinned)"; \
+	fi
 
 # Service smoke: real server + client over localhost TCP.
 serve-smoke:

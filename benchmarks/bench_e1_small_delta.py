@@ -46,7 +46,9 @@ def build_table():
     ]
     table = sweep("E1: small-Δ randomized (Δ=3), rounds vs n", points, run, seeds=(0, 1))
 
-    loglog2 = lambda n: math.log2(max(2.0, math.log2(n))) ** 2
+    def loglog2(n):
+        return math.log2(max(2.0, math.log2(n))) ** 2
+
     for family in ("random", "high-girth"):
         rows = [row for row in table.rows if row.params["family"] == family]
         xs = [row.params["n"] for row in rows]

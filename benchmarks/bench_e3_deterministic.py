@@ -44,7 +44,9 @@ def build_table():
         rows = [row for row in table.rows if row.params["delta"] == d]
         xs = [row.params["n"] for row in rows]
         ys = [row.values["rounds"] for row in rows]
-        shape = lambda n: math.log2(n) ** 2
+        def shape(n):
+            return math.log2(n) ** 2
+
         c_fit = fit_against(xs, ys, shape)
         for row in rows:
             row.values["pred_c*log^2 n"] = round(c_fit * shape(row.params["n"]), 0)

@@ -77,16 +77,16 @@ def build_list_coloring_table():
             ledger = RoundLedger()
             rng = random.Random(seed)
             if engine == "random":
-                stats = list_coloring_random(
+                list_coloring_random(
                     graph, colors, set(range(n)), delta + 1, ledger, rng
                 )
             elif engine == "hybrid":
-                stats = list_coloring_hybrid(
+                list_coloring_hybrid(
                     graph, colors, set(range(n)), delta + 1, ledger, rng
                 )
             else:
                 linial = linial_coloring(graph)
-                stats = list_coloring_deterministic(
+                list_coloring_deterministic(
                     graph, colors, set(range(n)), delta + 1,
                     linial.colors, linial.palette, ledger,
                 )

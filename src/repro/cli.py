@@ -21,6 +21,12 @@ Gives downstream users a zero-code path to the library:
   :mod:`repro.obs`) as a slowest-traces table plus per-trace waterfalls;
   the cross-process view of where one request's time went, router to
   solver phase.
+* ``lint`` — run **reprolint**, the repository's AST-based invariant
+  linter (:mod:`repro.devtools`): seven repo-contract rules (seeded-only
+  randomness, non-blocking async tiers, guarded numpy imports, clock-free
+  fingerprints, typed storage excepts, validated wire access, complete
+  vectorized/python fallback pairs) with suppressions, pyproject config
+  and a committed baseline.  See docs/DEVTOOLS.md.
 * ``demo`` — run one of the bundled example scenarios.
 * ``info`` — parse a graph and print its structural profile (Δ, girth
   probe, niceness, Gallai-tree status, component count).
@@ -45,6 +51,8 @@ Examples::
     python -m repro serve --port 8512 --shards 2
     python -m repro serve --port 8512 --shards 2 --trace-dir traces/
     python -m repro trace traces/ --top 3
+    python -m repro lint src scripts benchmarks
+    python -m repro lint --list-rules
 """
 
 from __future__ import annotations
@@ -503,6 +511,25 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Lazy import: the linter is dev tooling; `repro color` must not pay
+    # for it (and it must never drag the service tier into this import).
+    from repro.devtools import main as lint_main
+
+    argv: list[str] = list(args.paths)
+    if args.json:
+        argv.append("--json")
+    if args.baseline is not None:
+        argv.extend(["--baseline", args.baseline])
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.update_baseline:
+        argv.append("--update-baseline")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     import importlib
 
@@ -691,6 +718,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop traces faster than this many milliseconds",
     )
     trace.set_defaults(func=_cmd_trace)
+
+    lint = sub.add_parser(
+        "lint",
+        help="reprolint: repo-contract static analysis (docs/DEVTOOLS.md)",
+        description=(
+            "Run the repository's AST-based invariant linter over the given "
+            "paths.  Exit 0 when every finding is fixed, suppressed, or "
+            "baselined; 1 on new findings or stale baseline entries."
+        ),
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src", "scripts", "benchmarks"],
+        help="files or directories to lint (default: src scripts benchmarks)",
+    )
+    lint.add_argument("--json", action="store_true", help="machine-readable report")
+    lint.add_argument(
+        "--baseline", default=None,
+        help="baseline file (default: [tool.reprolint].baseline in pyproject.toml)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline: every finding fails",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to tolerate every current finding",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="describe the registered rules and exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     demo = sub.add_parser("demo", help="run a bundled example")
     demo.add_argument(

@@ -231,7 +231,9 @@ def _find_target(
     ball incrementally so its block stays local instead of merging into
     the graph's 2-core), then duplicate nodes.
     """
-    allowed = lambda u: u == token or colors[u] != UNCOLORED
+    def allowed(u: str) -> bool:
+        return u == token or colors[u] != UNCOLORED
+
     parent, level = bfs_tree(graph, token, max_radius, allowed=allowed)
     candidates: dict[str, tuple[int, int]] = {}
 
@@ -282,7 +284,9 @@ def _smallest_radius_dcc(
     giant 2-core.  Returns ``(entry_node, block_nodes)`` where entry is
     the block node closest to the token, or None.
     """
-    allowed = lambda u: u == token or colors[u] != UNCOLORED
+    def allowed(u: str) -> bool:
+        return u == token or colors[u] != UNCOLORED
+
     for radius in range(2, max_radius + 1):
         ball = bfs_ball(graph, token, radius, allowed=allowed)
         if len(ball) < 4:
@@ -365,7 +369,7 @@ def _regional_repair(
             lists.append({c for c in range(1, max_colors + 1) if c not in taken})
         try:
             assignment = degree_list_color(sub, lists)
-        except InfeasibleListColoringError:
+        except InfeasibleListColoringError as exc:
             for u, c in saved.items():
                 colors[u] = c
             # The second condition catches disconnected graphs: once the
@@ -375,7 +379,7 @@ def _regional_repair(
                 raise AlgorithmContractError(
                     "regional repair failed on the whole component: input is "
                     "not Δ-colorable (clique or odd cycle?)"
-                )
+                ) from exc
             last_region_size = len(region)
             radius *= 2
             continue

@@ -58,6 +58,12 @@ class DCCDetection:
     rounds: int = 0
 
 
+# The pure-Python fallback here is not a renamed twin of this kernel but
+# the original lazy per-ball counting pass inside detect_dccs (structurally
+# different: per-candidate BFS + peel instead of blockwise sparse
+# products); the two paths are pinned equivalent by the fixed-seed golden
+# tests and the detect_dccs property tests.
+# reprolint: disable=RPL007 -- fallback is the lazy path in detect_dccs
 def _vectorized_ball_blocks(graph: Graph, radius: int):
     """Blockwise vectorized ball structure for DCC detection (or ``None``).
 

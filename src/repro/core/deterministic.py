@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from repro.errors import AlgorithmContractError
 from repro.core.brooks import fix_uncolored_node
 from repro.core.layering import color_layers_in_reverse
-from repro.graphs.bfs import bfs_ball, distance_layers
+from repro.graphs.bfs import distance_layers
 from repro.graphs.graph import Graph
 from repro.graphs.properties import assert_nice
 from repro.graphs.validation import UNCOLORED, validate_coloring

@@ -1,0 +1,101 @@
+"""The reprolint baseline: pre-existing findings that don't block CI.
+
+A baseline entry identifies a finding by *content*, not position:
+``(path, code, stripped source line, occurrence index)``.  Line numbers
+drift with every unrelated edit; the offending line's own text only
+changes when someone touches it — at which point the finding should be
+re-justified or fixed, so expiring it from the baseline is the correct
+behaviour.  The occurrence index disambiguates identical lines in one
+file (the Nth identical violation stays matched to the Nth entry).
+
+The file is deliberately human-reviewable JSON, sorted, one entry per
+finding — a diff on it *is* the review of newly-tolerated debt.
+Matching is consume-once per run: if a baselined finding disappears,
+:func:`apply_baseline` reports it as stale so the file can be trimmed
+(``--update-baseline`` rewrites it from scratch).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.devtools.framework import Finding
+
+__all__ = ["BaselineResult", "baseline_key", "load_baseline", "save_baseline", "apply_baseline"]
+
+_VERSION = 1
+
+
+def baseline_key(finding: Finding, occurrence: int) -> tuple[str, str, str, int]:
+    return (finding.path, finding.code, finding.source, occurrence)
+
+
+def _keys_for(findings: list[Finding]) -> list[tuple[str, str, str, int]]:
+    seen: Counter[tuple[str, str, str]] = Counter()
+    keys = []
+    for finding in findings:
+        base = (finding.path, finding.code, finding.source)
+        keys.append(baseline_key(finding, seen[base]))
+        seen[base] += 1
+    return keys
+
+
+def load_baseline(path: Path) -> set[tuple[str, str, str, int]]:
+    """Entries from ``path``; a missing file is an empty baseline."""
+    if not path.is_file():
+        return set()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"unreadable baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise ValueError(f"{path}: expected a reprolint baseline (version {_VERSION})")
+    entries = set()
+    for row in payload.get("findings", []):
+        entries.add(
+            (
+                str(row["path"]),
+                str(row["code"]),
+                str(row["source"]),
+                int(row.get("occurrence", 0)),
+            )
+        )
+    return entries
+
+
+def save_baseline(path: Path, findings: list[Finding]) -> None:
+    """Write every current finding as the new tolerated set."""
+    rows = [
+        {"path": key[0], "code": key[1], "source": key[2], "occurrence": key[3]}
+        for key in sorted(_keys_for(findings))
+    ]
+    payload = {"version": _VERSION, "findings": rows}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+@dataclass
+class BaselineResult:
+    """Split of a run's findings against the committed baseline."""
+
+    new: list[Finding]
+    baselined: list[Finding]
+    stale: list[tuple[str, str, str, int]]
+
+
+def apply_baseline(
+    findings: list[Finding], entries: set[tuple[str, str, str, int]]
+) -> BaselineResult:
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    matched: set[tuple[str, str, str, int]] = set()
+    for finding, key in zip(findings, _keys_for(findings)):
+        if key in entries:
+            baselined.append(finding)
+            matched.add(key)
+        else:
+            new.append(finding)
+    stale = sorted(entries - matched)
+    return BaselineResult(new=new, baselined=baselined, stale=stale)

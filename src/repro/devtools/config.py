@@ -1,0 +1,89 @@
+"""``[tool.reprolint]`` configuration, read from pyproject.toml.
+
+Recognised keys (all optional — zero config runs every rule)::
+
+    [tool.reprolint]
+    baseline = "reprolint-baseline.json"   # relative to pyproject.toml
+    exclude = ["**/_generated/**"]          # glob patterns, relative paths
+    disable = ["RPL004"]                    # rule codes skipped entirely
+
+    [tool.reprolint.rules.RPL006]
+    dict_names = ["request", "reply"]       # per-rule options (opaque dict)
+
+Config loading uses :mod:`tomllib` (stdlib on 3.11+); a missing file or
+missing table yields the defaults, so the linter also works on bare
+fixture trees in tests.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["LintConfig", "load_config", "find_pyproject"]
+
+DEFAULT_BASELINE = "reprolint-baseline.json"
+
+
+@dataclass
+class LintConfig:
+    """Resolved reprolint configuration."""
+
+    root: Path
+    baseline_path: Path
+    exclude: tuple[str, ...] = ()
+    disable: tuple[str, ...] = ()
+    rule_options: dict[str, dict] = field(default_factory=dict)
+
+    def is_excluded(self, path: Path) -> bool:
+        try:
+            rel = path.resolve().relative_to(self.root.resolve())
+        except ValueError:
+            rel = path
+        text = rel.as_posix()
+        return any(
+            fnmatch.fnmatch(text, pattern) or fnmatch.fnmatch(path.name, pattern)
+            for pattern in self.exclude
+        )
+
+
+def find_pyproject(start: Path) -> Path | None:
+    """Nearest pyproject.toml at or above ``start``."""
+    node = start.resolve()
+    if node.is_file():
+        node = node.parent
+    for candidate in [node, *node.parents]:
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def load_config(start: Path, baseline_override: str | None = None) -> LintConfig:
+    """Load ``[tool.reprolint]`` for the tree containing ``start``."""
+    pyproject = find_pyproject(start)
+    if pyproject is None:
+        root = start.resolve() if start.is_dir() else start.resolve().parent
+        table: dict = {}
+    else:
+        root = pyproject.parent
+        try:
+            with pyproject.open("rb") as handle:
+                table = tomllib.load(handle).get("tool", {}).get("reprolint", {})
+        except (OSError, tomllib.TOMLDecodeError):
+            table = {}
+    baseline = baseline_override or table.get("baseline", DEFAULT_BASELINE)
+    rules_table = table.get("rules", {})
+    return LintConfig(
+        root=root,
+        baseline_path=(root / baseline) if not Path(baseline).is_absolute() else Path(baseline),
+        exclude=tuple(table.get("exclude", ())),
+        disable=tuple(table.get("disable", ())),
+        rule_options={
+            str(code): dict(options)
+            for code, options in rules_table.items()
+            if isinstance(options, dict)
+        },
+    )

@@ -15,8 +15,6 @@ recursion limit).
 
 from __future__ import annotations
 
-from collections.abc import Iterable
-
 from repro.graphs.graph import Graph
 
 __all__ = [

@@ -232,7 +232,7 @@ class MetricsRegistry:
         self._instruments: dict[str, Any] = {}
         self._lock = threading.Lock()
 
-    def _get_or_create(self, cls, name: str, help: str, **kwargs: Any):
+    def _get_or_create(self, cls: type[Any], name: str, help: str, **kwargs: Any) -> Any:
         with self._lock:
             existing = self._instruments.get(name)
             if existing is not None:

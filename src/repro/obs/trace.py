@@ -44,6 +44,7 @@ import random
 import threading
 import time
 from collections import deque
+from types import TracebackType
 from typing import Any
 
 __all__ = [
@@ -163,7 +164,12 @@ class Span:
     def __enter__(self) -> "Span":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
         self.end()

@@ -27,7 +27,6 @@ from heapq import heappop, heappush
 
 from repro.graphs.bfs import bfs_distances
 from repro.graphs.graph import Graph
-from repro.graphs.validation import UNCOLORED
 from repro.local.rounds import RoundLedger
 from repro.primitives.list_coloring import greedy_color_sequential
 

@@ -145,6 +145,58 @@ def _reduce_round_vectorized(graph: Graph, colors: list[int], d: int, q: int):
     return (chosen_x * q + chosen_value).tolist()
 
 
+def _reduce_round_python(graph: Graph, colors: list[int], d: int, q: int) -> list[int]:
+    """One Linial reduction round, pure Python (reference semantics).
+
+    The scalar twin of :func:`_reduce_round_vectorized`: same polynomial
+    evaluation over GF(q), same smallest-free-point choice, bit-identical
+    output — this is the path the numpy-free CI leg runs.
+    """
+    n = graph.n
+    adj = graph.adj
+    new_colors = [0] * n
+    # Precompute digit vectors lazily per distinct color.
+    digit_cache: dict[int, list[int]] = {}
+
+    def digits_of(color: int) -> list[int]:
+        cached = digit_cache.get(color)
+        if cached is None:
+            cached = int_to_digits(color, q, d + 1)
+            digit_cache[color] = cached
+        return cached
+
+    eval_cache: dict[tuple[int, int], int] = {}
+
+    def evaluate(color: int, x: int) -> int:
+        key = (color, x)
+        cached = eval_cache.get(key)
+        if cached is None:
+            acc = 0
+            for coefficient in reversed(digits_of(color)):
+                acc = (acc * x + coefficient) % q
+            eval_cache[key] = acc
+            cached = acc
+        return cached
+
+    for v in range(n):
+        own_color = colors[v]
+        # Distinct neighbour colors suffice (and shrink the inner
+        # evaluation loop on graphs with repeated colors).
+        neighbor_colors = {colors[u] for u in adj[v]}
+        chosen_x = -1
+        chosen_value = -1
+        for x in range(q):
+            own_value = evaluate(own_color, x)
+            if all(evaluate(c, x) != own_value for c in neighbor_colors):
+                chosen_x = x
+                chosen_value = own_value
+                break
+        if chosen_x < 0:
+            raise AssertionError("no free evaluation point; parameter bug")
+        new_colors[v] = chosen_x * q + chosen_value
+    return new_colors
+
+
 def linial_coloring(
     graph: Graph,
     ledger: RoundLedger | None = None,
@@ -165,7 +217,6 @@ def linial_coloring(
     colors = list(range(n))
     k = max(n, 2)
     iterations = 0
-    adj = graph.adj
     while iterations < max_iterations:
         d, q = _choose_parameters(k, delta)
         if q * q >= k:
@@ -178,46 +229,6 @@ def linial_coloring(
                 colors = reduced
                 k = q * q
                 continue
-        new_colors = [0] * n
-        # Precompute digit vectors lazily per distinct color.
-        digit_cache: dict[int, list[int]] = {}
-
-        def digits_of(color: int) -> list[int]:
-            cached = digit_cache.get(color)
-            if cached is None:
-                cached = int_to_digits(color, q, d + 1)
-                digit_cache[color] = cached
-            return cached
-
-        eval_cache: dict[tuple[int, int], int] = {}
-
-        def evaluate(color: int, x: int) -> int:
-            key = (color, x)
-            cached = eval_cache.get(key)
-            if cached is None:
-                acc = 0
-                for coefficient in reversed(digits_of(color)):
-                    acc = (acc * x + coefficient) % q
-                eval_cache[key] = acc
-                cached = acc
-            return cached
-
-        for v in range(n):
-            own_color = colors[v]
-            # Distinct neighbour colors suffice (and shrink the inner
-            # evaluation loop on graphs with repeated colors).
-            neighbor_colors = {colors[u] for u in adj[v]}
-            chosen_x = -1
-            chosen_value = -1
-            for x in range(q):
-                own_value = evaluate(own_color, x)
-                if all(evaluate(c, x) != own_value for c in neighbor_colors):
-                    chosen_x = x
-                    chosen_value = own_value
-                    break
-            if chosen_x < 0:
-                raise AssertionError("no free evaluation point; parameter bug")
-            new_colors[v] = chosen_x * q + chosen_value
-        colors = new_colors
+        colors = _reduce_round_python(graph, colors, d, q)
         k = q * q
     return LinialResult(colors=colors, palette=k, iterations=iterations, rounds=iterations)

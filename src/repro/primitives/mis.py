@@ -33,7 +33,7 @@ import random
 from dataclasses import dataclass
 
 from repro.graphs.graph import Graph
-from repro.local.network import NodeContext, SyncNetwork
+from repro.local.network import NodeContext
 from repro.local.rounds import RoundLedger
 
 __all__ = [

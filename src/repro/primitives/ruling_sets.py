@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from repro.graphs.bfs import bfs_distances
 from repro.graphs.graph import Graph
 from repro.local.rounds import RoundLedger
-from repro.primitives.mis import ghaffari_mis, greedy_mis_from_coloring, power_graph_mis
+from repro.primitives.mis import greedy_mis_from_coloring, power_graph_mis
 
 __all__ = [
     "RulingSetResult",

@@ -46,7 +46,6 @@ import asyncio
 import time
 import warnings
 from collections import deque
-from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.api.config import SolverConfig

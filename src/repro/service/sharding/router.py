@@ -365,14 +365,15 @@ class ShardRouter(NdjsonEndpoint):
         )
         with span:
             reply = await self._forward(shard, request, request_id, span=span)
-        if reply.get("ok") and isinstance(reply.get("fingerprint"), str):
-            self._remember_chain(reply["fingerprint"], shard)
+        fingerprint = reply.get("fingerprint")
+        if reply.get("ok") and isinstance(fingerprint, str):
+            self._remember_chain(fingerprint, shard)
             self._remember_chain(parent_digest, shard)
         return reply
 
     async def _forward(
         self, shard: int, request: dict[str, Any], request_id: Any,
-        *, span=NOOP_SPAN,
+        *, span: Any = NOOP_SPAN,
     ) -> dict[str, Any]:
         self.per_shard[shard] += 1
         self._forward_counter.inc(shard=shard)
@@ -406,7 +407,13 @@ class ShardRouter(NdjsonEndpoint):
                     "shard": shard, "alive": False,
                     "error": str(reply.get("error")),
                 }
-            return {"shard": shard, "alive": True, **reply["stats"]}
+            shard_stats = reply.get("stats")
+            if not isinstance(shard_stats, dict):
+                return {
+                    "shard": shard, "alive": False,
+                    "error": "malformed stats reply (missing 'stats' object)",
+                }
+            return {"shard": shard, "alive": True, **shard_stats}
 
         shards = list(
             await asyncio.gather(*(one(i) for i in range(self.num_shards)))
@@ -484,19 +491,19 @@ def _merge_shard_stats(shards: list[dict[str, Any]]) -> dict[str, Any]:
     cache = {}
     if alive:
         cache = {
-            k: sum(s["cache"].get(k, 0) for s in alive)
+            k: sum(s.get("cache", {}).get(k, 0) for s in alive)
             for k in ("hits", "misses", "puts", "evictions_lru",
                       "evictions_ttl", "entries", "bytes")
         }
         probes = cache["hits"] + cache["misses"]
         cache["hit_rate"] = round(cache["hits"] / probes, 4) if probes else 0.0
     graph_store = {
-        k: sum(s["graph_store"].get(k, 0) for s in alive)
+        k: sum(s.get("graph_store", {}).get(k, 0) for s in alive)
         for k in ("entries", "chains", "bytes", "hits", "misses", "evictions")
     } if alive else {}
     metrics: dict[str, Any] = {}
     if alive:
-        snaps = [s["metrics"] for s in alive]
+        snaps = [s.get("metrics", {}) for s in alive]
         for key in ("completed", "cached", "rejected", "failed", "coalesced"):
             metrics[key] = sum(snap.get(key, 0) for snap in snaps)
         metrics["qps"] = round(sum(snap.get("qps", 0.0) for snap in snaps), 3)

@@ -35,11 +35,12 @@ from __future__ import annotations
 
 import threading
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any
 
 from repro.api.result import ColoringResult
+from repro.errors import GraphError
 from repro.graphs.graph import Graph
-from repro.service.storage.journal import FsyncPolicy, Journal
+from repro.service.storage.journal import Journal
 
 __all__ = ["DurableStore", "TieredResultStore"]
 
@@ -259,7 +260,11 @@ class DurableStore:
             return None
         try:
             return Graph(payload["n"], [(u, v) for u, v in payload["edges"]])
-        except Exception:
+        except (GraphError, KeyError, TypeError, ValueError):
+            # Corrupt-payload shapes (KeyError/TypeError/ValueError) and
+            # structurally invalid graphs (GraphError) both count as a
+            # corrupt read and miss; anything else is a real bug and
+            # must surface.
             self.corrupt_reads += 1
             return None
 

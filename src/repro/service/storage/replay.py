@@ -121,6 +121,12 @@ def replay_chains(
                     materialize_graph=False,
                 )
                 report["deltas_replayed"] += 1
+        # Replay runs before the server binds and must never block
+        # startup: *any* failure to rebuild a chain (typed engine
+        # rejection, malformed WAL payload, or a genuine regression in a
+        # re-registered engine) degrades to the retriable stale-parent
+        # fallback rather than keeping the fleet down.
+        # reprolint: disable=RPL005 -- breadth is the contract here
         except Exception:
             # A delta that no longer applies (e.g. its base was solved by
             # an engine since re-registered) downgrades to the stale-

@@ -142,7 +142,6 @@ class TestMultipleUncoloredNodes:
 
     def test_two_far_apart_nodes(self):
         g = random_regular_graph(500, 4, seed=77)
-        rng = random.Random(1)
         base = degree_list_color(g, [set(range(1, 5)) for _ in range(g.n)])
         from repro.graphs.bfs import bfs_distances
 

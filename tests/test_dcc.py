@@ -7,7 +7,6 @@ import pytest
 from repro.core.dcc import DCCScratch, detect_dccs, virtual_graph_ruling_set
 from repro.graphs.generators import (
     complete_graph_minus_edge,
-    high_girth_regular_graph,
     random_gallai_tree,
     random_regular_graph,
     torus_grid,

@@ -18,7 +18,6 @@ from repro.analysis.expansion import (
 from repro.core.marking import marking_process
 from repro.graphs.generators import (
     high_girth_regular_graph,
-    random_regular_graph,
     torus_grid,
 )
 from repro.graphs.validation import UNCOLORED

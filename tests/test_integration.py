@@ -19,7 +19,6 @@ from repro.graphs.generators import (
     cycle_graph,
     high_girth_regular_graph,
     path_graph,
-    random_nice_graph,
     random_regular_graph,
     torus_grid,
 )

@@ -1,7 +1,5 @@
 """Tests for Linial's O(Δ²) coloring."""
 
-import math
-
 import pytest
 
 from repro.graphs.generators import (

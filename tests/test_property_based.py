@@ -152,7 +152,9 @@ class TestListColoringFeasibilityProperty:
             sub_lists = [set(lists[v]) for v in originals]
             try:
                 colors = degree_list_color(sub, sub_lists)
-            except InfeasibleListColoringError:
-                raise AssertionError("deg+1 instance must always be feasible")
+            except InfeasibleListColoringError as exc:
+                raise AssertionError(
+                    "deg+1 instance must always be feasible"
+                ) from exc
             for i in range(sub.n):
                 assert colors[i] in sub_lists[i]

@@ -16,6 +16,7 @@ from repro.api import ColoringResult, SolverConfig, solve
 from repro.core.randomized import RandomizedParams
 from repro.errors import (
     GraphError,
+    NotNiceGraphError,
     ServiceOverloadedError,
     ServiceProtocolError,
 )
@@ -289,7 +290,7 @@ class TestGateway:
 
         async def main():
             async with BatchingGateway() as gateway:
-                with pytest.raises(Exception) as excinfo:
+                with pytest.raises(NotNiceGraphError) as excinfo:
                     await gateway.submit(bad, SolverConfig(algorithm="randomized"))
                 reply = await gateway.submit(good, SolverConfig())
                 return excinfo.value, reply, gateway.metrics.failed

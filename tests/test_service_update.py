@@ -13,7 +13,7 @@ import asyncio
 import pytest
 
 from repro.analysis.harness import carve_matching
-from repro.api import SolverConfig, solve
+from repro.api import SolverConfig
 from repro.errors import (
     EdgeNotPresentError,
     IncrementalUpdateError,

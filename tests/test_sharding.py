@@ -35,7 +35,6 @@ from repro.service import (
     AsyncColoringClient,
     ColoringServer,
     ShardRouter,
-    config_fingerprint,
     request_fingerprint,
 )
 

@@ -22,7 +22,6 @@ from repro.service.storage import (
     FsyncPolicy,
     Journal,
     ResultStore,
-    StorageBundle,
     StorageConfig,
     TieredResultStore,
     UpdateWAL,

@@ -19,8 +19,6 @@ replayed update chains carry valid colorings.
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
 from repro.api import SolverConfig, solve, solve_incremental
@@ -157,9 +155,9 @@ class TestIdempotence:
                 update_record(base_key, child_key, delta, [], config, "dynamic")
             )
 
-        disk_bytes = lambda: sum(
-            p.stat().st_size for p in tmp_path.rglob("*") if p.is_file()
-        )
+        def disk_bytes():
+            return sum(p.stat().st_size for p in tmp_path.rglob("*") if p.is_file())
+
         reports, head_digests = [], []
         for _ in range(2):
             store = DurableStore(tmp_path)
